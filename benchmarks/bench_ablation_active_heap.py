@@ -1,0 +1,64 @@
+"""§5 ablation: list- vs heap-based active context items.
+
+The paper notes its active "stack" is really a list with mid-deletion
+and suggests a heap "in data-distributions that cause it to grow long".
+We benchmark both structures under two distributions:
+
+* ``shallow`` — short regions, the active list stays tiny (the XMark
+  case; the list should win or tie);
+* ``deep`` — many long, heavily overlapping regions across many
+  iterations, growing the active set (where the heap's O(log n)
+  maintenance can pay off).
+"""
+
+import random
+
+import pytest
+
+from repro.core import StandoffOp, ll_join
+from repro.core.mergejoin_ll import IterContext
+from repro.core.region_index import RegionTable
+
+
+def _distribution(kind: str, n_iters: int = 400, per_iter: int = 25,
+                  n_cand: int = 30_000, seed: int = 9):
+    rng = random.Random(seed)
+    span = 1_000_000
+    rows = []
+    node = 0
+    for it in range(n_iters):
+        for _ in range(per_iter):
+            start = rng.randrange(span)
+            if kind == "deep":
+                length = rng.randrange(span // 3)   # long, overlapping
+            else:
+                length = rng.randrange(200)          # short
+            rows.append((it, node, start, min(span, start + length)))
+            node += 1
+    context = IterContext.from_rows(rows)
+    cand_rows = []
+    for i in range(n_cand):
+        start = rng.randrange(span)
+        cand_rows.append((start, start + rng.randrange(150), 10_000_000 + i))
+    return context, RegionTable.from_rows(cand_rows)
+
+
+@pytest.mark.parametrize("structure", ["list", "heap"])
+@pytest.mark.parametrize("kind", ["shallow", "deep"])
+def test_active_structure(benchmark, structure, kind):
+    context, candidates = _distribution(kind)
+    result = benchmark(lambda: ll_join(
+        StandoffOp.SELECT_NARROW, context, candidates,
+        active_structure=structure))
+    assert isinstance(result, dict)
+
+
+def test_structures_agree():
+    for kind in ("shallow", "deep"):
+        context, candidates = _distribution(kind, n_iters=50,
+                                            per_iter=10, n_cand=2000)
+        a = ll_join(StandoffOp.SELECT_NARROW, context, candidates,
+                    active_structure="list")
+        b = ll_join(StandoffOp.SELECT_NARROW, context, candidates,
+                    active_structure="heap")
+        assert a == b

@@ -1,0 +1,100 @@
+"""§3.3 (ii) ablation: per-document region indexes vs one global index.
+
+The paper chooses XPath-step (per-fragment) semantics partly because a
+collection-global index "may lead to the index containing many data
+items that are not needed if a small set of documents is queried" and
+makes updates conflict across documents.  We measure both costs:
+
+* **query**: a StandOff join whose context touches ONE document, run
+  against that document's own index vs against the global index of an
+  N-document collection (the global scan walks past other documents'
+  regions);
+* **maintenance**: adding one document invalidates only its own index
+  in the per-document design, but forces a full global rebuild.
+"""
+
+import random
+
+import pytest
+
+from repro.core import RegionIndex, StandoffOp, basic_join
+from repro.core.global_index import GlobalRegionIndex, global_standoff_join
+
+N_DOCS = 20
+REGIONS_PER_DOC = 5_000
+SPAN = 1_000_000
+
+
+def _collection(seed: int = 5):
+    rng = random.Random(seed)
+    per_fragment = {}
+    for frag in range(1, N_DOCS + 1):
+        entries = []
+        for node_id in range(REGIONS_PER_DOC):
+            start = rng.randrange(SPAN)
+            entries.append((node_id, start, start + rng.randrange(400)))
+        per_fragment[frag] = RegionIndex.build(entries)
+    return per_fragment
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return _collection()
+
+
+@pytest.fixture(scope="module")
+def global_index(collection):
+    return GlobalRegionIndex(collection)
+
+
+@pytest.fixture(scope="module")
+def context_rows(collection):
+    index = collection[1]
+    ids = index.annotated_ids()[:200]
+    return [(0, 1, int(node_id)) for node_id in ids]
+
+
+def test_query_per_document_index(benchmark, collection, context_rows):
+    index = collection[1]
+    context = index.fetch([node_id for _it, _frag, node_id
+                           in context_rows])
+
+    result = benchmark(lambda: basic_join(
+        StandoffOp.SELECT_WIDE, context, index.table))
+    assert result
+
+
+def test_query_global_index(benchmark, collection, global_index,
+                            context_rows):
+    result = benchmark(lambda: global_standoff_join(
+        StandoffOp.SELECT_WIDE, context_rows, global_index, collection))
+    assert result[0]
+
+
+def test_maintenance_per_document(benchmark, collection):
+    """Adding a document: per-document design rebuilds one index."""
+    rng = random.Random(99)
+    entries = [(i, rng.randrange(SPAN), rng.randrange(SPAN, SPAN + 400))
+               for i in range(REGIONS_PER_DOC)]
+
+    result = benchmark(lambda: RegionIndex.build(entries))
+    assert len(result) == REGIONS_PER_DOC
+
+
+def test_maintenance_global(benchmark, collection):
+    """Adding a document: global design rebuilds the whole collection."""
+    result = benchmark(lambda: GlobalRegionIndex(collection))
+    assert result.fragment_count() == N_DOCS
+
+
+def test_results_agree_within_fragment(collection, global_index,
+                                       context_rows):
+    """Global join restricted to fragment 1 == the per-document join."""
+    index = collection[1]
+    context = index.fetch([node_id for _it, _frag, node_id
+                           in context_rows])
+    local = basic_join(StandoffOp.SELECT_WIDE, context, index.table)
+    global_result = global_standoff_join(
+        StandoffOp.SELECT_WIDE, context_rows, global_index, collection)
+    in_frag1 = [node for frag, node in global_result[0] if frag == 1]
+    assert in_frag1 == local

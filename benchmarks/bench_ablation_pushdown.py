@@ -1,0 +1,65 @@
+"""§3.3 / §4.3 ablation: selection pushdown into the StandOff step.
+
+A name test can either be pushed into the join as a candidate sequence
+(index intersection on node id, preserving start order) or applied
+afterwards to the join's full result.  Pushdown should win whenever the
+name test is selective; the paper argues StandOff steps *as XPath steps*
+let the optimizer make exactly this choice (unlike the builtin-function
+handling which forces pushdown).
+"""
+
+import pytest
+
+from conftest import synthetic_regions
+from repro.core import StandoffOp, basic_join
+from repro.core.region_index import RegionIndex
+from repro.xmark import query_text
+
+
+@pytest.fixture(scope="module")
+def big_index():
+    return synthetic_regions(60_000, seed=21)
+
+
+@pytest.fixture(scope="module")
+def context_table(big_index):
+    return synthetic_regions(500, span=1_000_000, max_len=2_000,
+                             seed=22).table
+
+
+def _selective_ids(index: RegionIndex, fraction: float):
+    ids = index.annotated_ids()
+    step = max(1, int(1 / fraction))
+    return ids[::step]
+
+
+@pytest.mark.parametrize("selectivity", [0.01, 0.1, 0.5])
+def test_with_pushdown(benchmark, big_index, context_table, selectivity):
+    wanted = _selective_ids(big_index, selectivity)
+    candidates = big_index.candidates(wanted)
+    result = benchmark(lambda: basic_join(
+        StandoffOp.SELECT_WIDE, context_table, candidates))
+    assert isinstance(result, list)
+
+
+@pytest.mark.parametrize("selectivity", [0.01, 0.1, 0.5])
+def test_post_filter(benchmark, big_index, context_table, selectivity):
+    wanted = set(_selective_ids(big_index, selectivity).tolist())
+
+    def run():
+        full = basic_join(StandoffOp.SELECT_WIDE, context_table,
+                          big_index.table)
+        return [nid for nid in full if nid in wanted]
+
+    result = benchmark(run)
+    assert isinstance(result, list)
+
+
+def test_pushdown_and_postfilter_agree(big_index, context_table):
+    wanted = _selective_ids(big_index, 0.1)
+    pushed = basic_join(StandoffOp.SELECT_WIDE, context_table,
+                        big_index.candidates(wanted))
+    wanted_set = set(wanted.tolist())
+    full = basic_join(StandoffOp.SELECT_WIDE, context_table,
+                      big_index.table)
+    assert pushed == [nid for nid in full if nid in wanted_set]

@@ -1,0 +1,21 @@
+"""Figure 6, Q2 panel: StandOff XMark Q2 under the three strategies.
+
+Paper shape: the loop-lifted StandOff MergeJoin wins; the UDF variant is
+one to two orders of magnitude slower;
+the basic variant degrades on Q2 because its join re-runs (and rescans
+the region index) once per for-loop iteration.
+Full-size sweep with DNF budgets: `python -m repro.bench.figure6`.
+"""
+
+import pytest
+
+from repro.xmark import query_text
+
+QUERY_ID = "q2"
+
+
+@pytest.mark.parametrize("strategy", ["udf", "basic", "ll"])
+def test_q2_strategy(benchmark, xmark_db, strategy):
+    query = query_text(QUERY_ID, "xmark.xml", standoff=True)
+    result = benchmark(lambda: xmark_db.query(query, strategy=strategy))
+    assert len(result) >= 1

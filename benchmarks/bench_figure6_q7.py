@@ -1,0 +1,19 @@
+"""Figure 6, Q7 panel: StandOff XMark Q7 under the three strategies.
+
+Paper shape: the loop-lifted StandOff MergeJoin wins; the UDF variant is
+one to two orders of magnitude slower.
+Full-size sweep with DNF budgets: `python -m repro.bench.figure6`.
+"""
+
+import pytest
+
+from repro.xmark import query_text
+
+QUERY_ID = "q7"
+
+
+@pytest.mark.parametrize("strategy", ["udf", "basic", "ll"])
+def test_q7_strategy(benchmark, xmark_db, strategy):
+    query = query_text(QUERY_ID, "xmark.xml", standoff=True)
+    result = benchmark(lambda: xmark_db.query(query, strategy=strategy))
+    assert len(result) >= 1

@@ -1,0 +1,49 @@
+"""§4.6 claim A: the UDF *without* candidate sequence DNFs everywhere.
+
+The paper reports that the plain Figure-2 UDF (semi-join against all
+document nodes, ``//*``) did not finish within an hour at any document
+size; with candidate pushdown it finishes but remains 1-2 orders of
+magnitude behind the merge joins.  We time the no-candidate form on a
+*tiny* instance so it terminates, and assert the growth: it must be
+substantially slower than the candidate form on the same instance.
+"""
+
+import pytest
+
+from repro.xmark import query_text
+
+#: select-narrow with no name restriction: candidates = all annotations.
+NOCAND_QUERY = (
+    'for $b in doc("xmark.xml")//site/select-narrow::open_auctions\n'
+    '         /select-narrow::open_auction\n'
+    'return count($b/select-narrow::*)'
+)
+
+
+def test_udf_without_candidates(benchmark, xmark_db_tiny):
+    result = benchmark.pedantic(
+        lambda: xmark_db_tiny.query(NOCAND_QUERY, strategy="udf"),
+        rounds=1, iterations=1)
+    assert len(result) >= 1
+
+
+def test_udf_with_candidates(benchmark, xmark_db_tiny):
+    query = query_text("q2", "xmark.xml", standoff=True)
+    result = benchmark.pedantic(
+        lambda: xmark_db_tiny.query(query, strategy="udf"),
+        rounds=3, iterations=1)
+    assert len(result) >= 1
+
+
+def test_nocand_is_much_slower_than_ll(xmark_db_tiny):
+    """Directly compare wall-clock on the same instance."""
+    import time
+
+    start = time.perf_counter()
+    xmark_db_tiny.query(NOCAND_QUERY, strategy="udf")
+    nocand = time.perf_counter() - start
+
+    start = time.perf_counter()
+    xmark_db_tiny.query(NOCAND_QUERY, strategy="ll")
+    ll = time.perf_counter() - start
+    assert nocand > 3 * ll, (nocand, ll)

@@ -1,0 +1,32 @@
+"""Region index micro-benchmarks (§4.3): build, fetch, intersection."""
+
+import pytest
+
+from conftest import synthetic_regions
+from repro.core.region_index import RegionIndex
+
+
+@pytest.fixture(scope="module")
+def entries():
+    index = synthetic_regions(100_000, seed=31)
+    return [(int(i), int(s), int(e))
+            for s, e, i in index.table.iter_rows()]
+
+
+def test_build_index(benchmark, entries):
+    index = benchmark(lambda: RegionIndex.build(entries))
+    assert len(index) == len(entries)
+
+
+def test_candidate_intersection(benchmark, entries):
+    index = RegionIndex.build(entries)
+    wanted = index.annotated_ids()[::10]
+    result = benchmark(lambda: index.candidates(wanted))
+    assert len(result) == len(wanted)
+
+
+def test_fetch_context(benchmark, entries):
+    index = RegionIndex.build(entries)
+    context_ids = index.annotated_ids()[:500].tolist()
+    result = benchmark(lambda: index.fetch(context_ids))
+    assert len(result) == 500

@@ -1,0 +1,88 @@
+"""§4.6 claim C: loop-lifted select-narrow is < ~20 % slower than
+loop-lifted descendant Staircase Join.
+
+Both algorithms answer "which candidates fall inside each context
+window, per iteration" — Staircase Join on the tree's pre/size windows,
+StandOff MergeJoin on (potentially overlapping) annotation regions.  We
+run both over the same StandOff XMark document with the same context
+(one iteration per open_auction) and the same candidates (the bidder
+elements); inputs are prepared outside the timed region so the measured
+work is the join scan itself.
+"""
+
+import pytest
+
+from repro.core.mergejoin_ll import IterContext, ll_select_narrow
+from repro.staircase.loop_lifted import ll_descendant_join
+
+
+@pytest.fixture(scope="module")
+def inputs(xmark_db):
+    stored = xmark_db.store.get("xmark.xml")
+    shredded = stored.shredded
+    index = stored.region_index()
+    auction_pres = shredded.elements_named("open_auction")
+    context_rows = [(it, int(pre))
+                    for it, pre in enumerate(auction_pres.tolist())]
+    candidates = shredded.elements_named("bidder")
+    cand_table = index.candidates(candidates)
+    fetched = index.fetch([pre for _it, pre in context_rows])
+    by_id = {}
+    for s, e, i in zip(fetched.starts.tolist(), fetched.ends.tolist(),
+                       fetched.ids.tolist()):
+        by_id[i] = (s, e)
+    context = IterContext.from_rows(
+        (it, pre, *by_id[pre]) for it, pre in context_rows)
+    return shredded, context_rows, candidates, context, cand_table
+
+
+def test_ll_descendant_staircase(benchmark, inputs):
+    shredded, context_rows, candidates, _context, _cand_table = inputs
+    result = benchmark(
+        lambda: ll_descendant_join(shredded, context_rows, candidates))
+    assert result
+
+
+def test_ll_select_narrow(benchmark, inputs):
+    _shredded, _rows, _candidates, context, cand_table = inputs
+    result = benchmark(lambda: ll_select_narrow(context, cand_table))
+    assert result
+
+
+def test_join_results_agree(inputs):
+    """Same question, same answer: the region windows of an unpermuted-
+    by-containment pair coincide with pre/size windows per iteration."""
+    shredded, context_rows, candidates, context, cand_table = inputs
+    staircase = ll_descendant_join(shredded, context_rows, candidates)
+    standoff = ll_select_narrow(context, cand_table)
+    # The permuted document moved elements, but regions preserve the
+    # ORIGINAL containment; staircase sees the PERMUTED tree.  They agree
+    # on which bidders belong to which auction whenever the permutation
+    # did not move that bidder out of its auction subtree — which it
+    # never does below the permutation depth.  So the standoff answer is
+    # a superset per iteration.
+    for it, pres in staircase.items():
+        assert set(pres) <= set(standoff.get(it, [])), it
+
+
+def test_relative_slowdown_is_bounded(inputs):
+    """The headline ratio: the paper reports <= ~1.2x inside MonetDB;
+    after inlining the active-list fast path we measure ~1.1-1.2x here.
+    Asserted at 2x to keep CI robust; EXPERIMENTS.md records the
+    measured value."""
+    import time
+
+    shredded, context_rows, candidates, context, cand_table = inputs
+
+    def time_it(fn, repeats=7):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    staircase = time_it(
+        lambda: ll_descendant_join(shredded, context_rows, candidates))
+    standoff = time_it(lambda: ll_select_narrow(context, cand_table))
+    assert standoff < 2.0 * staircase + 0.01, (standoff, staircase)

@@ -1,0 +1,63 @@
+"""§3.1 table: the four StandOff joins — correctness micro-bench plus
+core join throughput on synthetic overlapping annotation sets.
+"""
+
+import pytest
+
+from conftest import synthetic_iter_context, synthetic_regions
+from repro.core import StandoffOp, basic_join, ll_join
+from repro.xquery import Database
+
+FIGURE1 = """
+<sample>
+  <video>
+    <shot id="Intro" start="0" end="8"/>
+    <shot id="Interview" start="8" end="64"/>
+    <shot id="Outro" start="64" end="94"/>
+  </video>
+  <audio>
+    <music artist="U2" start="0" end="31"/>
+    <music artist="Bach" start="52" end="94"/>
+  </audio>
+</sample>
+"""
+
+EXPECTED = {
+    "select-narrow": ["Intro"],
+    "select-wide": ["Intro", "Interview"],
+    "reject-narrow": ["Interview", "Outro"],
+    "reject-wide": ["Outro"],
+}
+
+
+@pytest.fixture(scope="module")
+def figure1_db():
+    db = Database()
+    db.add_document("video.xml", FIGURE1)
+    return db
+
+
+@pytest.mark.parametrize("op", sorted(EXPECTED))
+def test_section31_table_query(benchmark, figure1_db, op):
+    query = f'doc("video.xml")//music[@artist="U2"]/{op}::shot'
+    result = benchmark(lambda: figure1_db.query(query))
+    assert [n.get_attribute("id") for n in result] == EXPECTED[op]
+
+
+@pytest.mark.parametrize("op", list(StandoffOp))
+def test_core_join_throughput_single(benchmark, op):
+    """Basic merge join over 20k context x 20k candidate regions."""
+    index = synthetic_regions(20_000, seed=3)
+    context = synthetic_regions(20_000, seed=4)
+    result = benchmark(lambda: basic_join(op, context.table, index.table))
+    assert isinstance(result, list)
+
+
+@pytest.mark.parametrize("op", [StandoffOp.SELECT_NARROW,
+                                StandoffOp.SELECT_WIDE])
+def test_core_join_throughput_lifted(benchmark, op):
+    """Loop-lifted join: 500 iterations x 20 context regions each."""
+    index = synthetic_regions(20_000, seed=5)
+    context = synthetic_iter_context(500, 20, span=1_000_000, max_len=500)
+    result = benchmark(lambda: ll_join(op, context, index.table))
+    assert isinstance(result, dict)

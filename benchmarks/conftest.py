@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale notes: the paper benchmarks 11 MB-1100 MB documents on a C engine;
+the pytest-benchmark suite uses one fixed small scale per workload so a
+full ``pytest benchmarks/ --benchmark-only`` run stays in minutes.  The
+full sweep with DNF handling (the actual Figure 6 series) lives in
+``python -m repro.bench.figure6``.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.figure6 import build_database
+from repro.core import RegionIndex, RegionTable
+from repro.core.mergejoin_ll import IterContext
+
+#: XMark scale for the per-query strategy benchmarks.
+BENCH_SCALE = 0.5
+
+
+@pytest.fixture(scope="session")
+def xmark_db():
+    """StandOff XMark database at the benchmark scale."""
+    db, label = build_database(BENCH_SCALE)
+    return db
+
+
+@pytest.fixture(scope="session")
+def xmark_db_tiny():
+    """A very small instance for the quadratic (no-candidate) variants."""
+    db, label = build_database(0.05)
+    return db
+
+
+def synthetic_regions(n: int, *, span: int = 1_000_000, max_len: int = 500,
+                      seed: int = 1) -> RegionIndex:
+    """A region index of n random (overlapping) annotations."""
+    rng = random.Random(seed)
+    entries = []
+    for node_id in range(n):
+        start = rng.randrange(span)
+        entries.append((node_id, start, start + rng.randrange(max_len)))
+    return RegionIndex.build(entries)
+
+
+def synthetic_iter_context(n_iters: int, per_iter: int, *, span: int,
+                           max_len: int, seed: int = 2) -> IterContext:
+    rng = random.Random(seed)
+    rows = []
+    node_id = 10_000_000
+    for it in range(n_iters):
+        for _ in range(per_iter):
+            start = rng.randrange(span)
+            rows.append((it, node_id, start, start + rng.randrange(max_len)))
+            node_id += 1
+    return IterContext.from_rows(rows)

@@ -1,0 +1,110 @@
+"""Genome sequence annotation (the paper's §6 future-work domain).
+
+The BLOB is a DNA sequence; annotation layers — genes, exons, repeat
+regions, sequencing reads — are stand-off regions over base-pair
+offsets, each layer stored as its own document.  Within one layer the
+XPath-step joins apply; *across* layers the collection-global functions
+(`select-wide-global`, ...) match annotations from every stored
+document, the multiple-layers-over-one-BLOB design of §3.3.
+
+Run:  python examples/genomics.py
+"""
+
+import random
+
+from repro import Database
+
+
+def make_sequence(n: int, seed: int = 13) -> str:
+    rng = random.Random(seed)
+    return "".join(rng.choice("ACGT") for _ in range(n))
+
+
+GENES = """
+<genes>
+  <gene name="geneA" start="100" end="899"/>
+  <gene name="geneB" start="1200" end="2399"/>
+</genes>
+"""
+
+# exons of geneA and geneB; introns are the gaps between them
+FEATURES = """
+<features>
+  <exon id="A1" start="100" end="279"/>
+  <exon id="A2" start="430" end="649"/>
+  <exon id="A3" start="760" end="899"/>
+  <exon id="B1" start="1200" end="1499"/>
+  <exon id="B2" start="1900" end="2399"/>
+  <repeat family="ALU" start="300" end="420"/>
+  <repeat family="LINE" start="1550" end="1830"/>
+</features>
+"""
+
+READS = """
+<reads>
+  <read id="r1" start="150" end="249"/>
+  <read id="r2" start="250" end="349"/>
+  <read id="r3" start="600" end="699"/>
+  <read id="r4" start="1000" end="1099"/>
+  <read id="r5" start="1450" end="1549"/>
+  <read id="r6" start="2300" end="2399"/>
+  <read id="r7" start="660" end="750"/>
+</reads>
+"""
+
+
+def main() -> None:
+    db = Database()
+    sequence = make_sequence(2500)
+    db.add_blob("chr1", sequence)
+    db.add_document("genes.xml", GENES)
+    db.add_document("features.xml", FEATURES)
+    db.add_document("reads.xml", READS)
+
+    # Within-layer and cross-layer joins -------------------------------
+
+    exonic = db.query(
+        'select-narrow-global(doc("genes.xml")//gene)/self::exon')
+    print("exons inside genes:",
+          [e.get_attribute("id") for e in exonic])
+
+    intergenic = db.query(
+        'reject-wide-global(doc("genes.xml")//gene)/self::read')
+    print("reads mapping outside every gene:",
+          [r.get_attribute("id") for r in intergenic])
+
+    intronic = db.query("""
+        let $in_gene := select-wide-global(doc("genes.xml")//gene)
+                        /self::read
+        let $in_exon := select-wide-global(doc("features.xml")//exon)
+                        /self::read
+        return $in_gene except $in_exon
+    """)
+    print("reads overlapping a gene but no exon (intronic):",
+          [r.get_attribute("id") for r in intronic])
+
+    # Region predicates + BLOB access -----------------------------------
+
+    spanning = db.query("""
+        for $r in doc("reads.xml")//read
+        for $e in doc("features.xml")//exon
+        where standoff-overlaps($r, $e)
+          and not(standoff-contains($e, $r))
+        return concat($r/@id, " straddles ", $e/@id, " (",
+                      region-relation($r, $e), ")")
+    """)
+    print("\nreads straddling an exon boundary:")
+    for line in spanning:
+        print(" ", line)
+
+    (first_exon_seq,) = db.query(
+        'blob-content("chr1", (doc("features.xml")//exon)[1])')
+    print(f"\ngeneA exon 1 sequence ({len(first_exon_seq)} bp): "
+          f"{first_exon_seq[:48]}...")
+
+    gc = first_exon_seq.count("G") + first_exon_seq.count("C")
+    print(f"GC content of exon A1: {gc / len(first_exon_seq):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""NLP: overlapping linguistic annotation over a text corpus.
+
+Natural language processing was the paper's second motivating domain:
+tokenizers, parsers and named-entity recognizers annotate the *same*
+text with hierarchies that overlap (a named entity can straddle a
+phrase boundary; prosodic units cross syntactic ones), which inline XML
+markup cannot represent.  Stand-off annotation keeps the text as the
+BLOB (character offsets) and each tool's output as its own document
+layer — here combined into one annotation document.
+
+Run:  python examples/nlp_corpus.py
+"""
+
+from repro import Database
+
+TEXT = "Wouter Alink and Peter Boncz met in Amsterdam last June ."
+#       0123456789...
+
+
+def offsets_of(word: str) -> tuple[int, int]:
+    start = TEXT.index(word)
+    return start, start + len(word) - 1
+
+
+def build_annotations() -> str:
+    """Three annotation layers over the BLOB, by character offset."""
+    words = TEXT.split()
+    token_xml = []
+    cursor = 0
+    for i, word in enumerate(words):
+        start = TEXT.index(word, cursor)
+        end = start + len(word) - 1
+        cursor = end + 1
+        token_xml.append(
+            f'<token id="t{i}" start="{start}" end="{end}"/>')
+
+    entities = [
+        ("person", "Wouter Alink"),
+        ("person", "Peter Boncz"),
+        ("location", "Amsterdam"),
+        ("date", "last June"),
+    ]
+    entity_xml = []
+    for kind, surface in entities:
+        start, end = offsets_of(surface)
+        entity_xml.append(f'<entity type="{kind}" surface="{surface}" '
+                          f'start="{start}" end="{end}"/>')
+
+    # a (crude) chunker whose spans disagree with the entity layer:
+    # the "last June" date entity straddles the vp/pp boundary — the
+    # overlapping-hierarchies situation that motivates stand-off markup
+    chunks = [("np", "Wouter Alink and Peter Boncz"),
+              ("vp", "met in Amsterdam last"),
+              ("pp", "June .")]
+    chunk_xml = []
+    for kind, surface in chunks:
+        start, end = offsets_of(surface)
+        chunk_xml.append(f'<chunk type="{kind}" start="{start}" '
+                         f'end="{end}"/>')
+
+    return (
+        "<corpus>"
+        f"<tokens>{''.join(token_xml)}</tokens>"
+        f"<entities>{''.join(entity_xml)}</entities>"
+        f"<chunks>{''.join(chunk_xml)}</chunks>"
+        "</corpus>"
+    )
+
+
+def main() -> None:
+    db = Database()
+    db.add_document("corpus.xml", build_annotations())
+    print(f"BLOB text: {TEXT!r}\n")
+
+    # tokens inside each named entity (containment join)
+    result = db.query("""
+        for $e in doc("corpus.xml")//entity
+        return <entity type="{$e/@type}"
+                       tokens="{count($e/select-narrow::token)}"/>
+    """)
+    print("tokens per entity:")
+    print(result.serialize(indent=True))
+
+    # entities that straddle a chunk boundary: they overlap some chunk
+    # (select-wide) yet are contained in none (reject-narrow) — the
+    # overlapping-hierarchies case that motivates stand-off markup.
+    straddling = db.query("""
+        let $chunks := doc("corpus.xml")//chunk
+        let $overlapping := $chunks/select-wide::entity
+        let $uncontained := $chunks/reject-narrow::entity
+        for $e in $overlapping intersect $uncontained
+        return <straddles entity="{$e/@surface}" type="{$e/@type}"/>
+    """)
+    print("\nentities straddling a chunk boundary:")
+    print(straddling.serialize(indent=True))
+
+    # tokens not covered by any entity (anti-join)
+    uncovered = db.query(
+        'doc("corpus.xml")//entity/reject-wide::token')
+    surfaces = [TEXT[int(t.get_attribute("start")):
+                     int(t.get_attribute("end")) + 1]
+                for t in uncovered]
+    print(f"\ntokens outside all entities: {surfaces}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: the paper's multimedia example (Figure 1, §3.1).
+
+A video's audio and video tracks are annotated independently — shot
+boundaries on the video track, music detection on the audio track.  The
+two annotation hierarchies overlap freely, which plain XML nesting
+cannot express; stand-off regions (start/end in seconds) can.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+VIDEO_ANNOTATIONS = """
+<sample>
+  <video>
+    <shot id="Intro" start="0" end="8"/>
+    <shot id="Interview" start="8" end="64"/>
+    <shot id="Outro" start="64" end="94"/>
+  </video>
+  <audio>
+    <music artist="U2" start="0" end="31"/>
+    <music artist="Bach" start="52" end="94"/>
+  </audio>
+</sample>
+"""
+
+
+def main() -> None:
+    db = Database()
+    db.add_document("video.xml", VIDEO_ANNOTATIONS)
+
+    # The four StandOff joins of the paper, as XPath axis steps.
+    queries = [
+        ("shots during which ONLY U2 played",
+         'doc("video.xml")//music[@artist="U2"]/select-narrow::shot'),
+        ("shots during which U2 played at some point",
+         'doc("video.xml")//music[@artist="U2"]/select-wide::shot'),
+        ("shots NOT fully covered by U2 music",
+         'doc("video.xml")//music[@artist="U2"]/reject-narrow::shot'),
+        ("shots with no U2 music at all",
+         'doc("video.xml")//music[@artist="U2"]/reject-wide::shot'),
+    ]
+    for title, query in queries:
+        result = db.query(query)
+        ids = ", ".join(node.get_attribute("id") for node in result)
+        print(f"{title}:\n  {query}\n  -> {ids}\n")
+
+    # StandOff steps compose with ordinary XQuery.
+    report = db.query("""
+        for $m in doc("video.xml")//music
+        return <music artist="{$m/@artist}"
+                      shots="{count($m/select-wide::shot)}"/>
+    """)
+    print("per-artist shot coverage:")
+    print(report.serialize(indent=True))
+
+
+if __name__ == "__main__":
+    main()

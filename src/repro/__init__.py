@@ -1,0 +1,56 @@
+"""repro — reproduction of "Efficient XQuery Support for Stand-Off
+Annotation" (Alink, Bhoedjang, de Vries, Boncz; XIME-P / SIGMOD 2006).
+
+The library provides:
+
+* :mod:`repro.core` — regions, areas, the region index and the StandOff
+  MergeJoin algorithm family (the paper's contribution);
+* :mod:`repro.xmldb` — an XML parser, DOM and relational shredder;
+* :mod:`repro.relational` — a small column-store substrate with
+  loop-lifted ``iter|pos|item`` sequences;
+* :mod:`repro.staircase` — Staircase Join for the standard XPath axes;
+* :mod:`repro.xquery` — an XQuery-subset engine with the four StandOff
+  axis steps (``select-narrow``, ``select-wide``, ``reject-narrow``,
+  ``reject-wide``);
+* :mod:`repro.xmark` — the XMark-derived StandOff benchmark workload;
+* :mod:`repro.bench` — the experiment harness regenerating the paper's
+  figures.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.add_document("annotations.xml", xml_text)
+    result = db.query('//music[@artist="U2"]/select-wide::shot')
+    for node in result:
+        print(node.serialize())
+"""
+
+from repro.config import DEFAULT_CONFIG, StandoffConfig
+from repro.core import Area, Region, StandoffOp, Strategy
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Area",
+    "Region",
+    "StandoffOp",
+    "Strategy",
+    "StandoffConfig",
+    "DEFAULT_CONFIG",
+    "ReproError",
+    "Database",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Imported lazily: repro.xquery pulls in the whole engine, which the
+    # core-only consumers (and the benchmarks' cold paths) don't need.
+    if name == "Database":
+        from repro.xquery.engine import Database
+
+        return Database
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

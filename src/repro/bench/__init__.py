@@ -1,0 +1,38 @@
+"""Benchmark harness regenerating the paper's evaluation (§4.6).
+
+Submodules are re-exported lazily so that ``python -m
+repro.bench.figure6`` does not import the module twice.
+"""
+
+from repro.bench.harness import (
+    DNF,
+    Measurement,
+    format_table,
+    median_runtime,
+    run_with_budget,
+    speedup,
+)
+
+__all__ = [
+    "DNF",
+    "Measurement",
+    "format_table",
+    "median_runtime",
+    "run_with_budget",
+    "speedup",
+    "Figure6Config",
+    "Figure6Result",
+    "build_database",
+    "run_figure6",
+]
+
+_FIGURE6_NAMES = {"Figure6Config", "Figure6Result", "build_database",
+                  "run_figure6"}
+
+
+def __getattr__(name):
+    if name in _FIGURE6_NAMES:
+        from repro.bench import figure6
+
+        return getattr(figure6, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

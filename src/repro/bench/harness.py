@@ -1,0 +1,109 @@
+"""Experiment harness: timed runs with DNF (did-not-finish) budgets.
+
+The paper reports DNF for runs exceeding one hour on its 2.4 GHz
+machine; our pure-Python substrate runs proportionally smaller inputs
+with proportionally smaller budgets (default 30 s).  Timeouts use
+``SIGALRM``, so a quadratic variant is *actually interrupted* rather
+than merely predicted to be slow.
+"""
+
+from __future__ import annotations
+
+import math
+import signal
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import BenchmarkTimeout
+
+#: Sentinel runtime for runs that exceeded the budget.
+DNF = float("inf")
+
+
+def _alarm_handler(signum, frame):
+    raise BenchmarkTimeout("experiment exceeded its DNF budget", 0)
+
+
+def run_with_budget(fn: Callable[[], object], budget_seconds: float
+                    ) -> tuple[float, object | None]:
+    """Run ``fn`` under a wall-clock budget.
+
+    :returns: ``(elapsed_seconds, result)``, or ``(DNF, None)`` when the
+        budget was exceeded (the run is interrupted via SIGALRM).
+    """
+    if budget_seconds <= 0 or math.isinf(budget_seconds):
+        start = time.perf_counter()
+        result = fn()
+        return time.perf_counter() - start, result
+    old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+    signal.setitimer(signal.ITIMER_REAL, budget_seconds)
+    start = time.perf_counter()
+    try:
+        result = fn()
+        return time.perf_counter() - start, result
+    except BenchmarkTimeout:
+        return DNF, None
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+def median_runtime(fn: Callable[[], object], budget_seconds: float,
+                   repeats: int = 3) -> float:
+    """Median of *repeats* timed runs; DNF short-circuits."""
+    times = []
+    for _ in range(repeats):
+        elapsed, _result = run_with_budget(fn, budget_seconds)
+        if elapsed is DNF or math.isinf(elapsed):
+            return DNF
+        times.append(elapsed)
+    times.sort()
+    return times[len(times) // 2]
+
+
+@dataclass
+class Measurement:
+    """One cell of a result table."""
+
+    series: str           # e.g. strategy name
+    point: str            # e.g. document size label
+    seconds: float        # DNF when not finished
+
+    @property
+    def finished(self) -> bool:
+        return not math.isinf(self.seconds)
+
+    def render(self) -> str:
+        return "DNF" if not self.finished else f"{self.seconds:8.3f}"
+
+
+def format_table(title: str, measurements: list[Measurement]) -> str:
+    """Render measurements as a series-by-point text table."""
+    points: list[str] = []
+    series: list[str] = []
+    for m in measurements:
+        if m.point not in points:
+            points.append(m.point)
+        if m.series not in series:
+            series.append(m.series)
+    cells = {(m.series, m.point): m.render() for m in measurements}
+    width = max(12, *(len(s) for s in series)) + 2
+    colw = max(10, *(len(p) for p in points)) + 2
+    lines = [title,
+             "=" * len(title),
+             " " * width + "".join(p.rjust(colw) for p in points)]
+    for s in series:
+        row = s.ljust(width)
+        row += "".join(cells.get((s, p), "-").rjust(colw) for p in points)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def speedup(slow: float, fast: float) -> float:
+    """Ratio slow/fast; infinite when the slow side DNFed."""
+    if math.isinf(slow):
+        return math.inf
+    if fast <= 0:
+        return math.inf
+    return slow / fast

@@ -1,0 +1,187 @@
+r"""Command-line shell for the StandOff XQuery database.
+
+One-shot::
+
+    python -m repro.cli --load video.xml --query \
+        'doc("video.xml")//music[@artist="U2"]/select-wide::shot'
+
+Interactive::
+
+    python -m repro.cli --load video.xml
+    standoff> doc("video.xml")//shot
+    standoff> \strategy ll
+    standoff> \timing on
+    standoff> \quit
+
+Backslash commands: ``\load <uri> [path]``, ``\blob <uri> <path>``,
+``\docs``, ``\strategy udf|basic|ll``, ``\timing on|off``, ``\help``,
+``\quit``.  Everything else is evaluated as a query; results print one
+item per line (nodes serialized as XML).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.xquery.engine import Database
+
+PROMPT = "standoff> "
+
+HELP = """\
+\\load <uri> [path]   parse an XML file and store it under <uri>
+\\blob <uri> <path>   register a BLOB file
+\\docs                list stored documents and BLOBs
+\\strategy <name>     set evaluation strategy: udf | basic | ll
+\\timing on|off       print query wall-clock times
+\\help                this text
+\\quit                exit
+any other input      evaluate as an XQuery query"""
+
+
+class CliSession:
+    """A scriptable shell session (the REPL drives this object)."""
+
+    def __init__(self, out=None):
+        self.db = Database()
+        self.strategy = "basic"
+        self.timing = False
+        self.out = out if out is not None else sys.stdout
+        self.done = False
+
+    def emit(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # -- commands -----------------------------------------------------------
+
+    def load_document(self, uri: str, path: str | None = None) -> None:
+        source = Path(path if path is not None else uri)
+        self.db.add_document(uri, source.read_text(encoding="utf-8"))
+        stored = self.db.document(uri)
+        self.emit(f"loaded {uri} "
+                  f"({stored.document.node_count} nodes)")
+
+    def load_blob(self, uri: str, path: str) -> None:
+        self.db.add_blob(uri, Path(path).read_bytes())
+        self.emit(f"registered BLOB {uri}")
+
+    def list_docs(self) -> None:
+        uris = self.db.store.uris()
+        if not uris and not len(self.db.blobs):
+            self.emit("(no documents)")
+            return
+        for uri in uris:
+            stored = self.db.document(uri)
+            self.emit(f"doc  {uri}  ({stored.document.node_count} nodes)")
+        for uri in self.db.blobs.uris():
+            blob = self.db.blobs.get(uri)
+            self.emit(f"blob {uri}  ({len(blob)} bytes)")
+
+    def set_strategy(self, name: str) -> None:
+        if name not in ("udf", "basic", "ll"):
+            self.emit(f"unknown strategy {name!r} "
+                      "(expected udf, basic or ll)")
+            return
+        self.strategy = name
+        self.emit(f"strategy = {name}")
+
+    def run_query(self, text: str) -> None:
+        start = time.perf_counter()
+        try:
+            result = self.db.query(text, strategy=self.strategy)
+        except ReproError as error:
+            self.emit(f"error: {error}")
+            return
+        elapsed = time.perf_counter() - start
+        for line in result.serialize().splitlines():
+            self.emit(line)
+        summary = f"({len(result)} item(s)"
+        if self.timing:
+            summary += f", {elapsed:.3f}s"
+        self.emit(summary + ")")
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def handle(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        if not line.startswith("\\"):
+            self.run_query(line)
+            return
+        parts = line[1:].split()
+        command, args = parts[0], parts[1:]
+        try:
+            if command == "quit" or command == "q":
+                self.done = True
+            elif command == "help":
+                self.emit(HELP)
+            elif command == "load" and args:
+                self.load_document(*args[:2])
+            elif command == "blob" and len(args) == 2:
+                self.load_blob(args[0], args[1])
+            elif command == "docs":
+                self.list_docs()
+            elif command == "strategy" and args:
+                self.set_strategy(args[0])
+            elif command == "timing" and args:
+                self.timing = args[0] == "on"
+                self.emit(f"timing = {'on' if self.timing else 'off'}")
+            else:
+                self.emit(f"unknown command \\{command} (try \\help)")
+        except (OSError, ReproError) as error:
+            self.emit(f"error: {error}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="StandOff XQuery shell (Alink et al., 2006 repro)")
+    parser.add_argument("--load", action="append", default=[],
+                        metavar="PATH",
+                        help="XML file to load (uri = file name); "
+                             "repeatable")
+    parser.add_argument("--blob", action="append", default=[],
+                        metavar="URI=PATH", help="BLOB to register")
+    parser.add_argument("--query", "-e", default=None,
+                        help="run one query and exit")
+    parser.add_argument("--strategy", default="basic",
+                        choices=["udf", "basic", "ll"])
+    args = parser.parse_args(argv)
+
+    session = CliSession()
+    session.strategy = args.strategy
+    try:
+        for path in args.load:
+            session.load_document(Path(path).name, path)
+        for spec in args.blob:
+            uri, _sep, path = spec.partition("=")
+            if not path:
+                parser.error(f"--blob expects URI=PATH, got {spec!r}")
+            session.load_blob(uri, path)
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.query is not None:
+        session.run_query(args.query)
+        return 0
+
+    session.emit("StandOff XQuery shell — \\help for commands")
+    while not session.done:
+        try:
+            line = input(PROMPT)
+        except EOFError:
+            break
+        except KeyboardInterrupt:
+            session.emit("")
+            continue
+        session.handle(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Configuration of the stand-off annotation representation.
+
+The paper (Section 2) makes the representation of regions configurable via
+``declare option`` pragmas in the XQuery preamble::
+
+    declare option standoff-type   "qualified-name"
+    declare option standoff-start  "qualified-name"
+    declare option standoff-end    "qualified-name"
+    declare option standoff-region "qualified-name"
+
+Two representations are supported:
+
+* **attribute form** (default): the element carries ``start``/``end``
+  attributes — compact, one region per element;
+* **element form** (when ``standoff-region`` is declared): the element has
+  one or more ``<region><start>..</start><end>..</end></region>`` children,
+  allowing *non-contiguous* multi-region areas.
+
+:class:`StandoffConfig` captures these settings and knows how to extract
+regions from a DOM element under either representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RegionError, XQueryStaticError
+
+#: Option names understood in the ``declare option`` preamble.
+OPTION_TYPE = "standoff-type"
+OPTION_START = "standoff-start"
+OPTION_END = "standoff-end"
+OPTION_REGION = "standoff-region"
+
+STANDOFF_OPTION_NAMES = frozenset(
+    {OPTION_TYPE, OPTION_START, OPTION_END, OPTION_REGION}
+)
+
+#: Position datatypes supported for region endpoints.  The paper's
+#: implementation assumes 64-bit integers but notes this is not conceptual;
+#: we additionally allow doubles (e.g. time offsets in seconds).
+SUPPORTED_TYPES = ("xs:integer", "xs:long", "xs:double", "xs:decimal")
+
+
+@dataclass(frozen=True)
+class StandoffConfig:
+    """Runtime settings for locating region information on elements.
+
+    :param position_type: qualified name of the position datatype
+        (default ``xs:integer``; see :data:`SUPPORTED_TYPES`).
+    :param start_name: name of the start attribute *or* element.
+    :param end_name: name of the end attribute *or* element.
+    :param region_name: when not ``None``, the element-form representation
+        is active and this is the name of the ``<region>`` child elements.
+    """
+
+    position_type: str = "xs:integer"
+    start_name: str = "start"
+    end_name: str = "end"
+    region_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.position_type not in SUPPORTED_TYPES:
+            raise XQueryStaticError(
+                f"unsupported standoff-type {self.position_type!r}; "
+                f"expected one of {', '.join(SUPPORTED_TYPES)}"
+            )
+        if not self.start_name or not self.end_name:
+            raise XQueryStaticError(
+                "standoff-start and standoff-end must be non-empty names"
+            )
+        if self.start_name == self.end_name:
+            raise XQueryStaticError(
+                "standoff-start and standoff-end must differ "
+                f"(both are {self.start_name!r})"
+            )
+
+    @property
+    def uses_region_elements(self) -> bool:
+        """True when regions are stored as ``<region>`` child elements."""
+        return self.region_name is not None
+
+    @property
+    def integral_positions(self) -> bool:
+        """True when the configured position type is an integer type."""
+        return self.position_type in ("xs:integer", "xs:long")
+
+    def parse_position(self, text: str):
+        """Convert attribute/element text to a position value.
+
+        :raises RegionError: if the text is not a valid literal of the
+            configured position type.
+        """
+        text = text.strip()
+        try:
+            if self.integral_positions:
+                return int(text)
+            return float(text)
+        except ValueError:
+            raise RegionError(
+                f"cannot parse {text!r} as {self.position_type}"
+            ) from None
+
+    @classmethod
+    def from_options(cls, options: dict[str, str]) -> "StandoffConfig":
+        """Build a config from ``declare option`` name/value pairs.
+
+        Unknown ``standoff-*`` options raise; other options are the
+        caller's business and must be filtered out beforehand.
+        """
+        unknown = set(options) - STANDOFF_OPTION_NAMES
+        if unknown:
+            raise XQueryStaticError(
+                f"unknown standoff option(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            position_type=options.get(OPTION_TYPE, "xs:integer"),
+            start_name=options.get(OPTION_START, "start"),
+            end_name=options.get(OPTION_END, "end"),
+            region_name=options.get(OPTION_REGION),
+        )
+
+
+#: The paper's default configuration (attribute form, integer offsets).
+DEFAULT_CONFIG = StandoffConfig()

@@ -1,0 +1,75 @@
+"""Core stand-off annotation model and the StandOff join algorithms.
+
+This package is the paper's primary contribution in library form:
+
+* :class:`~repro.core.region.Region` / :class:`~repro.core.region.Area` —
+  the annotation primitives (§2, §3.1);
+* :mod:`~repro.core.relations` — Allen's 13 interval relations and the
+  paper's containment/overlap reduction (§3);
+* :class:`~repro.core.region_index.RegionIndex` — the ``start|end|id``
+  region index clustered on start (§4.3);
+* :mod:`~repro.core.naive` — quadratic reference joins (Figures 2/3);
+* :mod:`~repro.core.mergejoin_basic` / :mod:`~repro.core.mergejoin_ll` —
+  the Basic and Loop-Lifted StandOff MergeJoin families (§4.4, §4.5);
+* :func:`~repro.core.steps.standoff_step` — step-level execution with
+  fragment partitioning, selection pushdown and strategy choice (§3.3).
+"""
+
+from repro.core.mergejoin_basic import (
+    basic_join,
+    reject_narrow,
+    reject_wide,
+    select_narrow,
+    select_wide,
+)
+from repro.core.mergejoin_ll import (
+    IterContext,
+    JoinResult,
+    ll_join,
+    ll_reject_narrow,
+    ll_reject_wide,
+    ll_select_narrow,
+    ll_select_wide,
+)
+from repro.core.naive import StandoffOp, naive_join, naive_join_loop
+from repro.core.region import Area, Region
+from repro.core.region_index import RegionIndex, RegionTable
+from repro.core.relations import (
+    AllenRelation,
+    CONTAINMENT_RELATIONS,
+    OVERLAP_RELATIONS,
+    classify,
+    region_contains,
+    region_overlaps,
+)
+from repro.core.steps import Strategy, standoff_step
+
+__all__ = [
+    "Area",
+    "Region",
+    "AllenRelation",
+    "CONTAINMENT_RELATIONS",
+    "OVERLAP_RELATIONS",
+    "classify",
+    "region_contains",
+    "region_overlaps",
+    "RegionIndex",
+    "RegionTable",
+    "StandoffOp",
+    "naive_join",
+    "naive_join_loop",
+    "basic_join",
+    "select_narrow",
+    "select_wide",
+    "reject_narrow",
+    "reject_wide",
+    "IterContext",
+    "JoinResult",
+    "ll_join",
+    "ll_select_narrow",
+    "ll_select_wide",
+    "ll_reject_narrow",
+    "ll_reject_wide",
+    "Strategy",
+    "standoff_step",
+]

@@ -1,0 +1,79 @@
+"""Basic (non-loop-lifted) StandOff MergeJoin (paper §4.4).
+
+These functions compute a StandOff join for a *single* context node
+sequence, using the same merge-scan machinery as the loop-lifted variants
+but without an ``iter`` column.  When a query nests a StandOff step in a
+for-loop, the engine's "basic" strategy calls one of these once per
+iteration — so every call restarts its scan of the candidate sequence at
+the beginning.  That repeated scanning is exactly what makes the basic
+variant blow up on XMark Q2 in the paper's Figure 6 (DNF), while the
+loop-lifted variant covers all iterations in a single pass.
+"""
+
+from __future__ import annotations
+
+from repro.core.mergejoin_ll import (
+    IterContext,
+    ll_reject_narrow,
+    ll_reject_wide,
+    ll_select_narrow,
+    ll_select_wide,
+)
+from repro.core.naive import StandoffOp
+from repro.core.region_index import RegionTable
+
+
+def _single(result: dict[int, list[int]]) -> list[int]:
+    """Unwrap the iteration-0 result of a single-sequence join."""
+    return result.get(0, [])
+
+
+def select_narrow(context: RegionTable, candidates: RegionTable, *,
+                  active_structure: str = "list") -> list[int]:
+    """Containment semi-join for one context sequence.
+
+    :param context: regions of the context nodes, start-clustered
+        (``RegionIndex.fetch`` output).
+    :param candidates: the candidate sequence (region index or an
+        id-intersection of it).
+    :returns: matching candidate node ids, unique and ascending.
+    """
+    return _single(ll_select_narrow(IterContext.single(context), candidates,
+                                    active_structure=active_structure))
+
+
+def select_wide(context: RegionTable, candidates: RegionTable, *,
+                active_structure: str = "list") -> list[int]:
+    """Overlap semi-join for one context sequence."""
+    return _single(ll_select_wide(IterContext.single(context), candidates,
+                                  active_structure=active_structure))
+
+
+def reject_narrow(context: RegionTable, candidates: RegionTable, *,
+                  active_structure: str = "list") -> list[int]:
+    """Containment anti-join for one context sequence."""
+    return _single(ll_reject_narrow(IterContext.single(context), candidates,
+                                    active_structure=active_structure))
+
+
+def reject_wide(context: RegionTable, candidates: RegionTable, *,
+                active_structure: str = "list") -> list[int]:
+    """Overlap anti-join for one context sequence."""
+    return _single(ll_reject_wide(IterContext.single(context), candidates,
+                                  active_structure=active_structure))
+
+
+_DISPATCH = {
+    StandoffOp.SELECT_NARROW: select_narrow,
+    StandoffOp.SELECT_WIDE: select_wide,
+    StandoffOp.REJECT_NARROW: reject_narrow,
+    StandoffOp.REJECT_WIDE: reject_wide,
+}
+
+
+def basic_join(op: StandoffOp, context: RegionTable,
+               candidates: RegionTable, *,
+               active_structure: str = "list") -> list[int]:
+    """Dispatch a single-sequence StandOff merge join by operator."""
+    return _DISPATCH[op](context, candidates,
+                         active_structure=active_structure)

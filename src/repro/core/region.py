@@ -1,0 +1,196 @@
+"""Regions and areas — the primitive objects of stand-off annotation.
+
+Section 2 of the paper: a *region* is an inclusive ``[start, end]`` range
+over a totally ordered position domain (``start <= end``).  An
+*area-annotation* attaches one or more regions to an XML element; the
+regions of one area must not overlap nor touch each other, so an area is a
+canonical sorted tuple of disjoint, non-adjacent regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import RegionError
+
+
+@dataclass(frozen=True, order=True)
+class Region:
+    """An inclusive ``[start, end]`` interval; ``start <= end``.
+
+    Regions order lexicographically by ``(start, end)``, which matches the
+    clustering order of the region index.
+    """
+
+    start: int | float
+    end: int | float
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise RegionError(
+                f"region start {self.start!r} exceeds end {self.end!r}"
+            )
+
+    @property
+    def length(self) -> int | float:
+        """Extent of the region; inclusive bounds, so a point has length 0."""
+        return self.end - self.start
+
+    def contains(self, other: "Region") -> bool:
+        """True when *other* lies fully inside this region (inclusive)."""
+        return self.start <= other.start and other.end <= self.end
+
+    def contains_point(self, position: int | float) -> bool:
+        """True when *position* falls inside this region (inclusive)."""
+        return self.start <= position <= self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when the two regions share at least one position.
+
+        This is the paper's overlap predicate:
+        ``r1.start <= r2.end and r1.end >= r2.start``.
+        """
+        return self.start <= other.end and self.end >= other.start
+
+    def touches(self, other: "Region") -> bool:
+        """True when the regions are adjacent but do not overlap.
+
+        Only meaningful for integral positions, where ``[1,2]`` and
+        ``[3,4]`` touch.
+        """
+        return other.start - self.end == 1 or self.start - other.end == 1
+
+    def intersection(self, other: "Region") -> "Region | None":
+        """The overlapping sub-region, or ``None`` if disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Region(max(self.start, other.start), min(self.end, other.end))
+
+    def shifted(self, offset: int | float) -> "Region":
+        """A copy translated by *offset*."""
+        return Region(self.start + offset, self.end + offset)
+
+    def __str__(self) -> str:
+        return f"[{self.start},{self.end}]"
+
+
+class Area:
+    """A set of one or more disjoint, non-touching regions (paper §3.1).
+
+    The constructor *canonicalises*: regions are sorted on start, and any
+    overlapping or touching input regions are rejected — the paper requires
+    that an area's regions "do not overlap nor touch each other".  Use
+    :meth:`coalescing` to build an area from arbitrary region soup instead.
+    """
+
+    __slots__ = ("_regions",)
+
+    def __init__(self, regions: Iterable[Region]):
+        regs = sorted(regions)
+        if not regs:
+            raise RegionError("an area must contain at least one region")
+        for prev, cur in zip(regs, regs[1:]):
+            if prev.overlaps(cur):
+                raise RegionError(
+                    f"area regions {prev} and {cur} overlap; "
+                    "use Area.coalescing() to merge them"
+                )
+            if prev.touches(cur):
+                raise RegionError(
+                    f"area regions {prev} and {cur} touch; "
+                    "use Area.coalescing() to merge them"
+                )
+        self._regions = tuple(regs)
+
+    @classmethod
+    def of(cls, start, end) -> "Area":
+        """Convenience: a single-region area."""
+        return cls((Region(start, end),))
+
+    @classmethod
+    def coalescing(cls, regions: Iterable[Region]) -> "Area":
+        """Build an area from arbitrary regions, merging overlap/adjacency."""
+        regs = sorted(regions)
+        if not regs:
+            raise RegionError("an area must contain at least one region")
+        merged: list[Region] = [regs[0]]
+        for cur in regs[1:]:
+            last = merged[-1]
+            if last.overlaps(cur) or last.touches(cur):
+                merged[-1] = Region(last.start, max(last.end, cur.end))
+            else:
+                merged.append(cur)
+        return cls(merged)
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """The canonical (start-sorted, disjoint) region tuple."""
+        return self._regions
+
+    @property
+    def start(self) -> int | float:
+        """Smallest start over all regions (the area's left envelope)."""
+        return self._regions[0].start
+
+    @property
+    def end(self) -> int | float:
+        """Largest end over all regions (the area's right envelope)."""
+        return max(r.end for r in self._regions)
+
+    @property
+    def envelope(self) -> Region:
+        """The tightest single region covering the whole area."""
+        return Region(self.start, self.end)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Area):
+            return NotImplemented
+        return self._regions == other._regions
+
+    def __hash__(self) -> int:
+        return hash(self._regions)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(r) for r in self._regions)
+        return f"Area({inner})"
+
+    # ------------------------------------------------------------------
+    # The paper's two predicates (§3.1), quantified over region sets.
+    # ------------------------------------------------------------------
+
+    def contains(self, other: "Area") -> bool:
+        """Paper §3.1 ``contains(a1, a2)`` with ``self`` as a1.
+
+        ∀ r2 ∈ a2 ∃ r1 ∈ a1 : r1.start <= r2.start <= r2.end <= r1.end.
+        Every region of *other* must lie inside some region of *self*.
+        """
+        return all(
+            any(r1.contains(r2) for r1 in self._regions)
+            for r2 in other._regions
+        )
+
+    def overlaps(self, other: "Area") -> bool:
+        """Paper §3.1 ``overlaps(a1, a2)``.
+
+        ∃ r2 ∈ a2, r1 ∈ a1 : r1.start <= r2.end and r1.end >= r2.start.
+        Some region of *self* shares a position with some region of *other*.
+        """
+        # Both region lists are sorted and internally disjoint, so a merge
+        # scan decides overlap in O(|a1| + |a2|).
+        i = j = 0
+        mine, theirs = self._regions, other._regions
+        while i < len(mine) and j < len(theirs):
+            if mine[i].overlaps(theirs[j]):
+                return True
+            if mine[i].end < theirs[j].end:
+                i += 1
+            else:
+                j += 1
+        return False

@@ -1,0 +1,190 @@
+"""The region index (paper §4.3).
+
+The index is a relational ``start|end|id`` table kept **clustered on
+start** (ties broken on end, then id, so scans are deterministic).
+Non-contiguous areas that consist of multiple regions are represented by
+repeating the same node id in several entries.  Node ids are pre-order
+ranks in MonetDB/XQuery; here they are whatever integer identifier the
+document store assigns (we also use pre-order ranks).
+
+The index supports the two access paths of §4.3:
+
+* **full scan** — when a StandOff step has no selection, the entire index
+  is the candidate sequence;
+* **index intersection** — when a candidate node-id sequence is passed in
+  (e.g. produced by an element-name index), an intersection on node-id is
+  performed *preserving the start ordering* of the region index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.region import Area, Region
+from repro.errors import RegionError
+
+
+class RegionTable:
+    """An immutable, start-clustered ``start|end|id`` column triple.
+
+    This is the unit the merge-join algorithms consume: both the candidate
+    sequence and the (fetched, re-sorted) context sequence are
+    ``RegionTable`` instances.
+    """
+
+    __slots__ = ("starts", "ends", "ids")
+
+    def __init__(self, starts: np.ndarray, ends: np.ndarray,
+                 ids: np.ndarray, *, presorted: bool = False):
+        starts = np.asarray(starts)
+        ends = np.asarray(ends)
+        ids = np.asarray(ids, dtype=np.int64)
+        if not (len(starts) == len(ends) == len(ids)):
+            raise RegionError(
+                "start/end/id columns must have equal length "
+                f"({len(starts)}/{len(ends)}/{len(ids)})"
+            )
+        if len(starts) and np.any(starts > ends):
+            bad = int(np.argmax(starts > ends))
+            raise RegionError(
+                f"row {bad}: start {starts[bad]!r} exceeds end {ends[bad]!r}"
+            )
+        if not presorted and len(starts):
+            order = np.lexsort((ids, ends, starts))
+            starts, ends, ids = starts[order], ends[order], ids[order]
+        self.starts = starts
+        self.ends = ends
+        self.ids = ids
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegionTable):
+            return NotImplemented
+        return (np.array_equal(self.starts, other.starts)
+                and np.array_equal(self.ends, other.ends)
+                and np.array_equal(self.ids, other.ids))
+
+    def __repr__(self) -> str:
+        return f"RegionTable(n={len(self)})"
+
+    def row(self, i: int) -> tuple:
+        """The ``(start, end, id)`` triple at position *i*."""
+        return (self.starts[i].item(), self.ends[i].item(),
+                int(self.ids[i]))
+
+    def iter_rows(self) -> Iterable[tuple]:
+        """Yield ``(start, end, id)`` triples in clustering order."""
+        for i in range(len(self)):
+            yield self.row(i)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[tuple]) -> "RegionTable":
+        """Build from an iterable of ``(start, end, id)`` triples."""
+        rows = list(rows)
+        if not rows:
+            return cls(np.empty(0, np.int64), np.empty(0, np.int64),
+                       np.empty(0, np.int64), presorted=True)
+        starts, ends, ids = zip(*rows)
+        return cls(np.asarray(starts), np.asarray(ends),
+                   np.asarray(ids, dtype=np.int64))
+
+    @classmethod
+    def from_areas(cls, pairs: Iterable[tuple[int, Area]]) -> "RegionTable":
+        """Build from ``(node_id, Area)`` pairs, one row per region."""
+        rows = [(r.start, r.end, node_id)
+                for node_id, area in pairs for r in area.regions]
+        return cls.from_rows(rows)
+
+    def restrict_to_ids(self, candidate_ids: Sequence[int] | np.ndarray
+                        ) -> "RegionTable":
+        """Index intersection on node-id, preserving start order (§4.3)."""
+        wanted = np.asarray(candidate_ids, dtype=np.int64)
+        if len(self) == 0 or len(wanted) == 0:
+            return RegionTable.from_rows([])
+        mask = np.isin(self.ids, wanted)
+        return RegionTable(self.starts[mask], self.ends[mask],
+                           self.ids[mask], presorted=True)
+
+    def multiplicity(self) -> dict[int, int]:
+        """Map node id -> number of regions (for ∀-quantified containment)."""
+        uniq, counts = np.unique(self.ids, return_counts=True)
+        return {int(i): int(c) for i, c in zip(uniq, counts)}
+
+
+class RegionIndex:
+    """A per-document region index with incremental build and lookups.
+
+    Mirrors the paper's design: one index per XML document (fragment),
+    clustered on ``start``.  Built once after shredding; immutable
+    afterwards (rebuild to update — MonetDB/XQuery semantics for 0.10).
+    """
+
+    def __init__(self, table: RegionTable):
+        self._table = table
+        self._multiplicity: dict[int, int] | None = None
+
+    @classmethod
+    def build(cls, entries: Iterable[tuple[int, int | float, int | float]]
+              ) -> "RegionIndex":
+        """Build from ``(node_id, start, end)`` entries (any order)."""
+        rows = [(start, end, node_id) for node_id, start, end in entries]
+        return cls(RegionTable.from_rows(rows))
+
+    @property
+    def table(self) -> RegionTable:
+        """The full start-clustered table (the no-selection access path)."""
+        return self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def candidates(self, candidate_ids: Sequence[int] | None = None
+                   ) -> RegionTable:
+        """The candidate sequence for a StandOff step.
+
+        Without *candidate_ids* the entire index is returned; otherwise an
+        id-intersection is performed, preserving start order.
+        """
+        if candidate_ids is None:
+            return self._table
+        return self._table.restrict_to_ids(candidate_ids)
+
+    def fetch(self, node_ids: Sequence[int]) -> RegionTable:
+        """Fetch the regions of the given nodes, re-clustered on start.
+
+        This is the "fetch the [start,end] values for all context node-ids
+        and sort the context sequence on start" step of §4.4.  Node ids
+        without region information are silently absent from the result
+        (they are not area-annotations and cannot participate in joins).
+        """
+        return self._table.restrict_to_ids(node_ids)
+
+    def region_count(self, node_id: int) -> int:
+        """Number of regions attached to *node_id* (0 if none)."""
+        if self._multiplicity is None:
+            self._multiplicity = self._table.multiplicity()
+        return self._multiplicity.get(node_id, 0)
+
+    def area_of(self, node_id: int) -> Area | None:
+        """Materialise the :class:`Area` of a node, or None."""
+        mask = self._table.ids == node_id
+        if not mask.any():
+            return None
+        regions = [Region(s.item(), e.item())
+                   for s, e in zip(self._table.starts[mask],
+                                   self._table.ends[mask])]
+        return Area(regions)
+
+    def annotated_ids(self) -> np.ndarray:
+        """Sorted unique node ids that carry at least one region."""
+        return np.unique(self._table.ids)
+
+    def has_multi_region_areas(self) -> bool:
+        """True when any node id occurs more than once in the index."""
+        if len(self._table) == 0:
+            return False
+        return len(self.annotated_ids()) < len(self._table)

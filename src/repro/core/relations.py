@@ -1,0 +1,122 @@
+"""Allen's thirteen interval relations (Allen, CACM 1983).
+
+Section 3 of the paper observes that two regions can stand in 13 different
+relationships, "ranging at one end of the semantic spectrum from r1
+disjunctively preceding r2, to r1 disjunctively succeeding r2 at the other
+end, with r1 = r2 right in the middle", and that the StandOff joins
+collapse these down to *containment* and *overlap*.
+
+We implement the full taxonomy anyway: it documents exactly which Allen
+relations each StandOff predicate covers, and the property tests use it to
+verify that `contains`/`overlaps` partition the relation space the way the
+paper claims.
+
+Note on inclusivity: the paper's regions are *inclusive* ``[start, end]``
+ranges.  Allen's relations are classically defined on open-ended intervals;
+we use the inclusive reading throughout, so ``meets`` requires
+``r1.end + 1 == r2.start`` in the integral domain would be "touches" — here
+``meets`` uses the classical boundary-sharing definition
+(``r1.end == r2.start``), which in inclusive semantics implies a one-point
+overlap.  The mapping table below accounts for this.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.core.region import Region
+
+
+class AllenRelation(Enum):
+    """The 13 basic interval relations, in spectrum order."""
+
+    BEFORE = "before"                  # r1 entirely precedes r2 (gap)
+    MEETS = "meets"                    # r1.end == r2.start
+    OVERLAPS = "overlaps"              # proper left-overlap
+    STARTS = "starts"                  # same start, r1 shorter
+    DURING = "during"                  # r1 strictly inside r2
+    FINISHES = "finishes"              # same end, r1 shorter
+    EQUAL = "equal"                    # identical
+    FINISHED_BY = "finished-by"        # inverse of FINISHES
+    CONTAINS = "contains"              # inverse of DURING
+    STARTED_BY = "started-by"          # inverse of STARTS
+    OVERLAPPED_BY = "overlapped-by"    # inverse of OVERLAPS
+    MET_BY = "met-by"                  # inverse of MEETS
+    AFTER = "after"                    # r1 entirely follows r2 (gap)
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        """The relation with the roles of r1 and r2 swapped."""
+        return _INVERSES[self]
+
+
+_INVERSES = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.EQUAL: AllenRelation.EQUAL,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+}
+
+#: Relations under which ``contains(r1, r2)`` holds (r1 contains r2,
+#: inclusive bounds).
+CONTAINMENT_RELATIONS = frozenset({
+    AllenRelation.EQUAL,
+    AllenRelation.CONTAINS,
+    AllenRelation.STARTED_BY,
+    AllenRelation.FINISHED_BY,
+})
+
+#: Relations under which ``overlaps(r1, r2)`` holds with inclusive bounds.
+#: Everything except the two disjunctive extremes; MEETS/MET_BY share a
+#: boundary point, which inclusive regions count as overlap.
+OVERLAP_RELATIONS = frozenset(AllenRelation) - {
+    AllenRelation.BEFORE,
+    AllenRelation.AFTER,
+}
+
+
+def classify(r1: Region, r2: Region) -> AllenRelation:
+    """Return the unique Allen relation holding between *r1* and *r2*."""
+    if r1.start == r2.start and r1.end == r2.end:
+        return AllenRelation.EQUAL
+    if r1.end < r2.start:
+        return AllenRelation.BEFORE
+    if r2.end < r1.start:
+        return AllenRelation.AFTER
+    # Equal-start / equal-end cases come before the boundary-sharing
+    # (MEETS) cases so that point intervals classify as STARTS/FINISHES
+    # rather than as a degenerate MEETS.
+    if r1.start == r2.start:
+        return AllenRelation.STARTS if r1.end < r2.end else AllenRelation.STARTED_BY
+    if r1.end == r2.end:
+        return AllenRelation.FINISHES if r1.start > r2.start else AllenRelation.FINISHED_BY
+    if r1.end == r2.start:
+        return AllenRelation.MEETS
+    if r2.end == r1.start:
+        return AllenRelation.MET_BY
+    if r2.start < r1.start and r1.end < r2.end:
+        return AllenRelation.DURING
+    if r1.start < r2.start and r2.end < r1.end:
+        return AllenRelation.CONTAINS
+    if r1.start < r2.start:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY
+
+
+def region_contains(r1: Region, r2: Region) -> bool:
+    """The paper's single-region containment check (r1 contains r2)."""
+    return r1.start <= r2.start and r2.end <= r1.end
+
+
+def region_overlaps(r1: Region, r2: Region) -> bool:
+    """The paper's single-region overlap check."""
+    return r1.start <= r2.end and r1.end >= r2.start

@@ -1,0 +1,158 @@
+"""High-level StandOff step execution: fragments, strategies, dispatch.
+
+This module glues the join algorithms to *step* semantics (§3.3):
+
+* the context sequence is first **partitioned per XML fragment**; the main
+  algorithm runs once per distinct fragment and the results are
+  concatenated (§4.4) — a step only matches nodes from the same fragment;
+* the ``[start, end]`` values of the context node ids are **fetched from
+  the region index** and the context is re-sorted on start;
+* the **candidate sequence** is the whole region index, or an
+  id-intersection with a candidate id set when a selection (usually an
+  element name test) was pushed down;
+* results are unique node ids in document order per iteration.
+
+Three evaluation strategies reproduce the paper's three implementations:
+
+========== =============================================================
+``udf``     quadratic nested-loop join, the semantics of the XQuery
+            user-defined functions of Figures 2/3
+``basic``   Basic StandOff MergeJoin, invoked once per loop iteration
+``ll``      Loop-Lifted StandOff MergeJoin, one pass for all iterations
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.mergejoin_basic import basic_join
+from repro.core.mergejoin_ll import IterContext, JoinResult, ll_join
+from repro.core.naive import StandoffOp, naive_join_loop
+from repro.core.region_index import RegionIndex
+
+
+class Strategy(Enum):
+    """How a StandOff step is evaluated (paper §4.6's three variants)."""
+
+    UDF = "udf"
+    BASIC = "basic"
+    LOOP_LIFTED = "ll"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Strategy":
+        for strat in cls:
+            if strat.value == name or strat.name.lower() == name.lower():
+                return strat
+        raise ValueError(f"unknown standoff strategy {name!r}; "
+                         f"expected one of {[s.value for s in cls]}")
+
+
+#: A context node reference: (iteration, fragment id, node id).
+ContextRef = tuple[int, int, int]
+
+
+def standoff_step(op: StandoffOp,
+                  context: Iterable[ContextRef],
+                  indexes: Mapping[int, RegionIndex],
+                  candidate_ids: Mapping[int, Sequence[int]] | None = None,
+                  *,
+                  strategy: Strategy = Strategy.LOOP_LIFTED,
+                  active_structure: str = "list",
+                  ) -> dict[int, list[tuple[int, int]]]:
+    """Execute one StandOff step.
+
+    :param op: which of the four joins to perform.
+    :param context: ``(iter, fragment, node_id)`` triples.  Context nodes
+        without region information are not area-annotations and are
+        ignored (they cannot participate in a StandOff join).
+    :param indexes: region index per fragment id.
+    :param candidate_ids: optional pushed-down selection — per fragment,
+        the node ids the result may contain.  ``None`` disables pushdown
+        (the entire index is the candidate sequence).  A fragment missing
+        from the mapping gets no candidates.
+    :param strategy: evaluation strategy (see module docstring).
+    :param active_structure: ``"list"`` or ``"heap"`` active-items
+        structure for the merge joins.
+    :returns: ``iter -> [(fragment, node_id), ...]`` unique, in document
+        order (fragment id, then node id ascending = pre-order).
+    """
+    per_fragment: dict[int, list[tuple[int, int]]] = {}
+    for iteration, fragment, node_id in context:
+        per_fragment.setdefault(fragment, []).append((iteration, node_id))
+
+    merged: dict[int, list[tuple[int, int]]] = {}
+    for fragment in sorted(per_fragment):
+        index = indexes.get(fragment)
+        if index is None:
+            continue
+        if candidate_ids is None:
+            candidates = index.candidates(None)
+        else:
+            wanted = candidate_ids.get(fragment)
+            if wanted is None:
+                continue
+            candidates = index.candidates(wanted)
+        frag_result = _run_fragment(op, per_fragment[fragment], index,
+                                    candidates, strategy, active_structure)
+        for iteration, ids in frag_result.items():
+            merged.setdefault(iteration, []).extend(
+                (fragment, nid) for nid in ids)
+    # Per-fragment results are already id-ascending and fragments are
+    # visited in ascending order, so each iteration's list is in document
+    # order already; no re-sort needed.
+    return merged
+
+
+def _run_fragment(op: StandoffOp, pairs: list[tuple[int, int]],
+                  index: RegionIndex, candidates,
+                  strategy: Strategy, active_structure: str) -> JoinResult:
+    """Run one fragment's join under the chosen strategy."""
+    if strategy is Strategy.UDF:
+        context_rows = []
+        for iteration, node_id in pairs:
+            area = index.area_of(node_id)
+            if area is not None:
+                context_rows.append((iteration, node_id, area))
+        cand_rows = [(int(nid), index.area_of(int(nid)))
+                     for nid in _unique_ids(candidates)]
+        return naive_join_loop(op, context_rows, cand_rows)
+
+    if strategy is Strategy.BASIC:
+        by_iter: dict[int, list[int]] = {}
+        for iteration, node_id in pairs:
+            by_iter.setdefault(iteration, []).append(node_id)
+        out: JoinResult = {}
+        for iteration, ids in by_iter.items():
+            fetched = index.fetch(ids)
+            if len(fetched) == 0:
+                continue
+            out[iteration] = basic_join(op, fetched, candidates,
+                                        active_structure=active_structure)
+        return out
+
+    distinct = sorted({node_id for _iteration, node_id in pairs})
+    fetched = index.fetch(distinct)
+    regions_by_id: dict[int, list[tuple]] = {}
+    for start, end, nid in zip(fetched.starts.tolist(),
+                               fetched.ends.tolist(),
+                               fetched.ids.tolist()):
+        regions_by_id.setdefault(nid, []).append((start, end))
+    rows = []
+    for iteration, node_id in pairs:
+        for start, end in regions_by_id.get(node_id, ()):
+            rows.append((iteration, node_id, start, end))
+    context = IterContext.from_rows(rows)
+    return ll_join(op, context, candidates,
+                   active_structure=active_structure)
+
+
+def _unique_ids(candidates) -> list[int]:
+    seen: set[int] = set()
+    out: list[int] = []
+    for nid in candidates.ids.tolist():
+        if nid not in seen:
+            seen.add(nid)
+            out.append(nid)
+    return out

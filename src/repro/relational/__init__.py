@@ -1,0 +1,38 @@
+"""Relational substrate: columns, tables and loop-lifted sequences."""
+
+from repro.relational.column import Column
+from repro.relational.operators import (
+    antijoin,
+    cross,
+    distinct,
+    equi_join,
+    group_count,
+    project,
+    row_number,
+    select,
+    select_eq,
+    semijoin,
+    sort,
+)
+from repro.relational.sequence import IterSeq, Loop, expand_loop, unlift
+from repro.relational.table import Table
+
+__all__ = [
+    "Column",
+    "Table",
+    "IterSeq",
+    "Loop",
+    "expand_loop",
+    "unlift",
+    "select",
+    "select_eq",
+    "project",
+    "sort",
+    "equi_join",
+    "semijoin",
+    "antijoin",
+    "cross",
+    "group_count",
+    "row_number",
+    "distinct",
+]

@@ -1,0 +1,79 @@
+"""Columns: typed, immutable-by-convention arrays.
+
+MonetDB stores everything in BATs (binary association tables); our
+substrate keeps it simpler — a :class:`Column` is either a numpy array
+(numeric columns such as ``iter``, ``pos``, ``pre``, ``start``, ``end``)
+or a Python list (item columns holding nodes/atomics).  The class exists
+to give both storage kinds one interface for the table operators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import RelationalError
+
+
+class Column:
+    """A named column of homogeneous storage."""
+
+    __slots__ = ("name", "data", "is_numeric")
+
+    def __init__(self, name: str, data):
+        self.name = name
+        if isinstance(data, np.ndarray):
+            self.data = data
+            self.is_numeric = True
+        elif isinstance(data, list):
+            self.data = data
+            self.is_numeric = False
+        else:
+            self.data = list(data)
+            self.is_numeric = False
+
+    @classmethod
+    def int64(cls, name: str, values: Iterable[int]) -> "Column":
+        return cls(name, np.asarray(list(values), dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, i):
+        return self.data[i]
+
+    def take(self, indexes) -> "Column":
+        """A new column with the rows at *indexes* (any int sequence)."""
+        if self.is_numeric:
+            return Column(self.name, self.data[np.asarray(indexes)])
+        return Column(self.name, [self.data[i] for i in indexes])
+
+    def filter_mask(self, mask: np.ndarray) -> "Column":
+        if self.is_numeric:
+            return Column(self.name, self.data[mask])
+        return Column(self.name,
+                      [v for v, keep in zip(self.data, mask) if keep])
+
+    def concat(self, other: "Column") -> "Column":
+        if self.name != other.name:
+            raise RelationalError(
+                f"cannot concat columns {self.name!r} and {other.name!r}")
+        if self.is_numeric and other.is_numeric:
+            return Column(self.name, np.concatenate([self.data, other.data]))
+        return Column(self.name, list(self.data) + list(other.data))
+
+    def to_list(self) -> list:
+        if self.is_numeric:
+            return self.data.tolist()
+        return list(self.data)
+
+    def renamed(self, name: str) -> "Column":
+        return Column(name, self.data)
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, n={len(self)})"
+
+
+def as_int64(values: Sequence[Any]) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64)

@@ -1,0 +1,142 @@
+"""Classical relational operators over :class:`~repro.relational.table.Table`.
+
+Pathfinder compiles XQuery to Select / Project / Join / Product /
+Aggregation over ``iter|pos|item`` tables (§4.1).  The bulk evaluator
+mostly works on the grouped :class:`~repro.relational.sequence.IterSeq`
+view, but these operators give the classical table-level vocabulary used
+by tests, docs and the shredded-table utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import RelationalError
+from repro.relational.column import Column
+from repro.relational.table import Table
+
+
+def select(table: Table, predicate: Callable[[tuple], bool]) -> Table:
+    """Row selection by a Python predicate over row tuples."""
+    mask = np.fromiter((bool(predicate(row)) for row in table.rows()),
+                       dtype=bool, count=len(table))
+    return table.filter_mask(mask)
+
+
+def select_eq(table: Table, column: str, value) -> Table:
+    """Fast equality selection on a numeric column."""
+    col = table.col(column)
+    if col.is_numeric:
+        return table.filter_mask(col.data == value)
+    mask = np.fromiter((v == value for v in col.data), dtype=bool,
+                       count=len(table))
+    return table.filter_mask(mask)
+
+
+def project(table: Table, *names: str) -> Table:
+    return table.project(*names)
+
+
+def sort(table: Table, *names: str) -> Table:
+    """Stable lexicographic sort on numeric key columns."""
+    if not names:
+        return table
+    keys = []
+    for name in reversed(names):
+        col = table.col(name)
+        if not col.is_numeric:
+            raise RelationalError(f"cannot sort on item column {name!r}")
+        keys.append(col.data)
+    order = np.lexsort(keys)
+    return table.take(order)
+
+
+def equi_join(left: Table, right: Table, on: str,
+              suffix: str = "_r") -> Table:
+    """Hash equi-join on a shared numeric column.
+
+    Right columns clashing with left names get *suffix* appended.  Output
+    row order follows the left input (then right match order) — the
+    order-preserving join Pathfinder relies on.
+    """
+    lcol = left.col(on)
+    rcol = right.col(on)
+    buckets: dict = {}
+    for idx, key in enumerate(rcol.to_list()):
+        buckets.setdefault(key, []).append(idx)
+    lidx: list[int] = []
+    ridx: list[int] = []
+    for idx, key in enumerate(lcol.to_list()):
+        for r in buckets.get(key, ()):
+            lidx.append(idx)
+            ridx.append(r)
+    taken_left = left.take(lidx)
+    right_names = [c.name for c in right.columns if c.name != on]
+    taken_right = right.project(*right_names).take(ridx)
+    rename = {name: name + suffix for name in right_names
+              if taken_left.has_column(name)}
+    return Table([*taken_left.columns,
+                  *taken_right.rename(rename).columns])
+
+
+def semijoin(left: Table, right: Table, on: str) -> Table:
+    """Rows of *left* whose key appears in *right* (order-preserving)."""
+    keys = set(right.col(on).to_list())
+    mask = np.fromiter((k in keys for k in left.col(on).to_list()),
+                       dtype=bool, count=len(left))
+    return left.filter_mask(mask)
+
+
+def antijoin(left: Table, right: Table, on: str) -> Table:
+    """Rows of *left* whose key does not appear in *right*."""
+    keys = set(right.col(on).to_list())
+    mask = np.fromiter((k not in keys for k in left.col(on).to_list()),
+                       dtype=bool, count=len(left))
+    return left.filter_mask(mask)
+
+
+def cross(left: Table, right: Table, suffix: str = "_r") -> Table:
+    """Cartesian product, left-major order."""
+    nl, nr = len(left), len(right)
+    lidx = np.repeat(np.arange(nl), nr)
+    ridx = np.tile(np.arange(nr), nl)
+    taken_left = left.take(lidx)
+    rename = {c.name: c.name + suffix for c in right.columns
+              if taken_left.has_column(c.name)}
+    return Table([*taken_left.columns,
+                  *right.rename(rename).take(ridx).columns])
+
+
+def group_count(table: Table, key: str, out: str = "count") -> Table:
+    """Per-key row counts, keys in first-appearance order."""
+    counts: dict = {}
+    for k in table.col(key).to_list():
+        counts[k] = counts.get(k, 0) + 1
+    return Table([
+        Column(key, np.asarray(list(counts.keys()), dtype=np.int64)),
+        Column.int64(out, counts.values()),
+    ])
+
+
+def row_number(table: Table, partition: str, out: str = "pos") -> Table:
+    """1-based dense row numbers per partition (Pathfinder's ``rownum``)."""
+    seen: dict = {}
+    numbers = []
+    for key in table.col(partition).to_list():
+        seen[key] = seen.get(key, 0) + 1
+        numbers.append(seen[key])
+    return table.with_column(Column.int64(out, numbers))
+
+
+def distinct(table: Table, *names: str) -> Table:
+    """Rows with distinct values of the key columns (first wins)."""
+    cols = [table.col(n).to_list() for n in names]
+    seen: set = set()
+    keep: list[int] = []
+    for i, key in enumerate(zip(*cols) if cols else ()):
+        if key not in seen:
+            seen.add(key)
+            keep.append(i)
+    return table.take(keep)

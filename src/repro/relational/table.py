@@ -1,0 +1,108 @@
+"""Tables: ordered collections of equal-length named columns."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import RelationalError
+from repro.relational.column import Column
+
+
+class Table:
+    """A small relational table with named columns.
+
+    The row order is meaningful (XQuery sequences are ordered): operators
+    that need a different order produce a *new* table.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Iterable[Column]):
+        cols = list(columns)
+        if cols:
+            length = len(cols[0])
+            for col in cols[1:]:
+                if len(col) != length:
+                    raise RelationalError(
+                        f"column {col.name!r} has {len(col)} rows, "
+                        f"expected {length}")
+        names = [c.name for c in cols]
+        if len(set(names)) != len(names):
+            raise RelationalError(f"duplicate column names: {names}")
+        self.columns = cols
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Table":
+        return cls(Column(name, values) for name, values in data.items())
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def col(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise RelationalError(
+            f"no column {name!r}; have {self.column_names}")
+
+    def __getitem__(self, name: str) -> Column:
+        return self.col(name)
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def take(self, indexes) -> "Table":
+        return Table(c.take(indexes) for c in self.columns)
+
+    def filter_mask(self, mask: np.ndarray) -> "Table":
+        return Table(c.filter_mask(mask) for c in self.columns)
+
+    def project(self, *names: str) -> "Table":
+        return Table(self.col(n) for n in names)
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        return Table(c.renamed(mapping.get(c.name, c.name))
+                     for c in self.columns)
+
+    def with_column(self, column: Column) -> "Table":
+        if self.has_column(column.name):
+            raise RelationalError(f"column {column.name!r} already present")
+        return Table([*self.columns, column])
+
+    def concat(self, other: "Table") -> "Table":
+        if self.column_names != other.column_names:
+            raise RelationalError(
+                f"schema mismatch: {self.column_names} vs "
+                f"{other.column_names}")
+        return Table(a.concat(b)
+                     for a, b in zip(self.columns, other.columns))
+
+    def rows(self) -> Iterator[tuple]:
+        cols = [c.data for c in self.columns]
+        if not cols:
+            return iter(())
+        return zip(*[c.to_list() for c in self.columns])
+
+    def __repr__(self) -> str:
+        return f"Table({self.column_names}, n={len(self)})"
+
+    def pretty(self, limit: int = 20) -> str:
+        """A fixed-width rendering for docs/tests (pos|item style)."""
+        names = self.column_names
+        rows = list(self.rows())[:limit]
+        widths = [max(len(str(n)),
+                      *(len(str(r[i])) for r in rows)) if rows else len(str(n))
+                  for i, n in enumerate(names)]
+        def fmt(values):
+            return " | ".join(str(v).ljust(w) for v, w in zip(values, widths))
+        lines = [fmt(names), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(r) for r in rows)
+        if len(self) > limit:
+            lines.append(f"... ({len(self)} rows)")
+        return "\n".join(lines)

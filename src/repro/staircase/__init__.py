@@ -1,0 +1,31 @@
+"""Staircase Join: tree-aware axis joins on the pre/size encoding."""
+
+from repro.staircase.encoding import (
+    is_ancestor,
+    is_descendant,
+    prune_context,
+    window,
+)
+from repro.staircase.loop_lifted import (
+    iterated_descendant_join,
+    ll_descendant_join,
+)
+from repro.staircase.staircase import (
+    ancestor_join,
+    child_join,
+    descendant_join,
+    parent_join,
+)
+
+__all__ = [
+    "window",
+    "is_descendant",
+    "is_ancestor",
+    "prune_context",
+    "descendant_join",
+    "ancestor_join",
+    "child_join",
+    "parent_join",
+    "ll_descendant_join",
+    "iterated_descendant_join",
+]

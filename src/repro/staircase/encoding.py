@@ -1,0 +1,46 @@
+"""Pre/size/level region encoding predicates (Grust et al., VLDB 2003).
+
+In the pre/size encoding, the descendants of a node *v* are exactly the
+nodes with ``pre(v) < pre <= pre(v) + size(v)`` — a contiguous pre-rank
+window.  Unlike stand-off regions, these windows never partially overlap
+(tree property): two windows are either disjoint or nested.  Staircase
+Join exploits exactly this property, which is why it cannot be used as-is
+on overlapping annotation regions (paper §4.4) and the StandOff
+MergeJoin family exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def window(pre: int, size: int) -> tuple[int, int]:
+    """The descendant pre-rank window of a node (empty when size == 0)."""
+    return pre + 1, pre + size
+
+
+def is_descendant(anc_pre: int, anc_size: int, pre: int) -> bool:
+    """Is the node at *pre* a proper descendant of ``(anc_pre, anc_size)``?"""
+    return anc_pre < pre <= anc_pre + anc_size
+
+
+def is_ancestor(pre: int, anc_pre: int, anc_size: int) -> bool:
+    """Inverse reading of :func:`is_descendant`."""
+    return is_descendant(anc_pre, anc_size, pre)
+
+
+def prune_context(pres: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Drop context nodes covered by another context node's window.
+
+    This is Staircase Join's *pruning* step for the descendant axis: a
+    context node inside another context node's subtree contributes no new
+    descendants.  Input pre ranks must be sorted ascending; returns the
+    sorted indexes of the surviving (outermost) nodes.
+    """
+    keep: list[int] = []
+    horizon = -1
+    for i, (pre, size) in enumerate(zip(pres.tolist(), sizes.tolist())):
+        if pre > horizon:
+            keep.append(i)
+            horizon = pre + size
+    return np.asarray(keep, dtype=np.int64)

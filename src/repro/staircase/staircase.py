@@ -1,0 +1,92 @@
+"""Staircase Join: XPath axis evaluation on the shredded encoding.
+
+These functions compute axis steps for a *set* of context nodes against
+one shredded document, returning duplicate-free pre ranks in document
+order.  The descendant axis is the genuine Staircase Join (prune +
+single merge scan over the candidate pre ranks); the other axes use the
+parent column, which the shredded encoding keeps anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.staircase.encoding import prune_context
+from repro.xmldb.shred import ShreddedDocument
+
+
+def descendant_join(doc: ShreddedDocument, context_pres: np.ndarray,
+                    candidates: np.ndarray | None = None) -> np.ndarray:
+    """Descendant axis via Staircase Join.
+
+    :param context_pres: pre ranks of the context nodes (any order).
+    :param candidates: optional sorted pre ranks the result is restricted
+        to (selection pushdown, e.g. from the element-name index);
+        ``None`` means all nodes.
+    :returns: sorted pre ranks of the result.
+    """
+    if len(context_pres) == 0:
+        return np.empty(0, dtype=np.int64)
+    pres = np.unique(np.asarray(context_pres, dtype=np.int64))
+    sizes = doc.size[pres]
+    keep = prune_context(pres, sizes)
+    pres, sizes = pres[keep], sizes[keep]
+
+    if candidates is None:
+        # Emit each pruned window directly; windows are disjoint after
+        # pruning, so concatenation is already sorted and duplicate-free.
+        chunks = [np.arange(p + 1, p + s + 1, dtype=np.int64)
+                  for p, s in zip(pres.tolist(), sizes.tolist())
+                  if s > 0]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    cand = np.asarray(candidates, dtype=np.int64)
+    # Merge scan: for each disjoint window, take the candidate slice.
+    lo = np.searchsorted(cand, pres + 1, side="left")
+    hi = np.searchsorted(cand, pres + sizes, side="right")
+    chunks = [cand[a:b] for a, b in zip(lo.tolist(), hi.tolist()) if a < b]
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+def ancestor_join(doc: ShreddedDocument, context_pres: np.ndarray,
+                  candidates: np.ndarray | None = None) -> np.ndarray:
+    """Ancestor axis by climbing the parent column (memoised)."""
+    if len(context_pres) == 0:
+        return np.empty(0, dtype=np.int64)
+    parent = doc.parent
+    out: set[int] = set()
+    for pre in np.unique(np.asarray(context_pres, dtype=np.int64)).tolist():
+        p = parent[pre]
+        while p >= 0 and p not in out:
+            out.add(int(p))
+            p = parent[p]
+    result = np.asarray(sorted(out), dtype=np.int64)
+    if candidates is not None:
+        result = result[np.isin(result, candidates)]
+    return result
+
+
+def child_join(doc: ShreddedDocument, context_pres: np.ndarray,
+               candidates: np.ndarray | None = None) -> np.ndarray:
+    """Child axis via the parent column."""
+    if len(context_pres) == 0:
+        return np.empty(0, dtype=np.int64)
+    wanted = np.unique(np.asarray(context_pres, dtype=np.int64))
+    pool = doc.pre if candidates is None \
+        else np.asarray(candidates, dtype=np.int64)
+    mask = np.isin(doc.parent[pool], wanted)
+    return np.sort(pool[mask])
+
+
+def parent_join(doc: ShreddedDocument, context_pres: np.ndarray
+                ) -> np.ndarray:
+    """Parent axis via the parent column."""
+    if len(context_pres) == 0:
+        return np.empty(0, dtype=np.int64)
+    parents = doc.parent[np.asarray(context_pres, dtype=np.int64)]
+    parents = parents[parents >= 0]
+    return np.unique(parents)

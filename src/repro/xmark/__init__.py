@@ -1,0 +1,37 @@
+"""XMark-derived StandOff benchmark workload (paper §4.6)."""
+
+from repro.xmark.generator import (
+    BASE_COUNTS,
+    generate_xmark,
+    generate_xmark_document,
+)
+from repro.xmark.queries import (
+    EXTENDED_PLAIN,
+    EXTENDED_STANDOFF,
+    PLAIN,
+    QUERY_IDS,
+    STANDOFF,
+    extended_query_text,
+    query_text,
+)
+from repro.xmark.standoffize import (
+    StandoffBundle,
+    rewrite_query_standoff,
+    standoffize,
+)
+
+__all__ = [
+    "BASE_COUNTS",
+    "generate_xmark",
+    "generate_xmark_document",
+    "PLAIN",
+    "EXTENDED_PLAIN",
+    "EXTENDED_STANDOFF",
+    "extended_query_text",
+    "STANDOFF",
+    "QUERY_IDS",
+    "query_text",
+    "StandoffBundle",
+    "standoffize",
+    "rewrite_query_standoff",
+]

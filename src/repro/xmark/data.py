@@ -1,0 +1,46 @@
+"""Deterministic vocabulary for the XMark-style generator.
+
+Word pools modelled on the original xmlgen's Shakespeare-derived text;
+kept small (generation is seeded, so variety comes from combination).
+"""
+
+from __future__ import annotations
+
+WORDS = (
+    "gold silver page hero castle king queen sword merchant harbour "
+    "night day summer winter letter horse crown banner feast stone "
+    "river bridge tower garden cloak dagger ship anchor market scroll "
+    "lantern candle mirror ring chain goblet throne shield spear arrow "
+    "falcon raven wolf lion serpent oak willow rose thorn ember ash"
+).split()
+
+FIRST_NAMES = (
+    "Wouter Raoul Arjen Peter Ingrid Maarten Sanne Jeroen Anna Paul "
+    "Marta Gustav Elena Bram Lotte Hendrik Carmen Nikolai Petra Stefan"
+).split()
+
+LAST_NAMES = (
+    "Alink Bhoedjang Vries Boncz Keulen Grust Teubner Manegold Kersten "
+    "Schmidt Waas Carey Manolescu Busse Jansen Bakker Visser Smit Meyer"
+).split()
+
+COUNTRIES = (
+    "Netherlands Germany Belgium France Spain Italy Norway Sweden "
+    "Denmark Austria Portugal Finland Ireland Scotland Iceland"
+).split()
+
+CITIES = (
+    "Amsterdam Utrecht Rotterdam Delft Leiden Groningen Eindhoven "
+    "Haarlem Nijmegen Maastricht Tilburg Arnhem Zwolle Breda Leeuwarden"
+).split()
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+CATEGORY_THEMES = (
+    "antiques books coins collectibles computers electronics jewellery "
+    "instruments maps photography pottery stamps toys art travel"
+).split()
+
+PAYMENT_KINDS = ("Creditcard", "money order", "personal check", "cash")
+SHIPPING_KINDS = ("Will ship internationally", "Buyer pays fixed shipping",
+                  "See description for charges")

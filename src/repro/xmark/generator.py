@@ -1,0 +1,253 @@
+"""A scalable, deterministic XMark-style auction-document generator.
+
+Reproduces the element vocabulary and cardinality ratios of the XMark
+benchmark [Schmidt et al., VLDB 2002] for the parts its queries Q1, Q2,
+Q6 and Q7 touch: ``site`` with ``regions`` (six continents holding
+``item`` elements with ``description``/``mailbox``), ``categories``,
+``people`` (``person`` with ``@id="personN"``, ``name``,
+``emailaddress``), ``open_auctions`` (``open_auction`` with ``bidder``
+elements carrying ``increase``, plus ``annotation``) and
+``closed_auctions``.
+
+``scale=1.0`` yields a document of roughly half a megabyte (about 1/200
+of XMark's 100 MB scale factor 1) with the same relative cardinalities:
+
+=================== =========== =====================
+entity               ratio       count at scale=1.0
+``item``             21750/SF    400
+``person``           25500/SF    500
+``open_auction``     12000/SF    240
+``closed_auction``   9750/SF     195
+``category``         1000/SF     25
+=================== =========== =====================
+
+Generation is fully deterministic given ``(scale, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmark import data
+from repro.xmldb.dom import Document, Element
+
+#: Entity counts at scale 1.0 (see module docstring).
+BASE_COUNTS = {
+    "items": 400,
+    "persons": 500,
+    "open_auctions": 240,
+    "closed_auctions": 195,
+    "categories": 25,
+}
+
+
+class _Gen:
+    def __init__(self, scale: float, seed: int):
+        self.rng = random.Random(seed)
+        self.counts = {name: max(1, int(round(base * scale)))
+                       for name, base in BASE_COUNTS.items()}
+
+    # -- small helpers ----------------------------------------------------
+
+    def words(self, lo: int, hi: int) -> str:
+        n = self.rng.randint(lo, hi)
+        return " ".join(self.rng.choice(data.WORDS) for _ in range(n))
+
+    def sentence(self) -> str:
+        return self.words(4, 12) + "."
+
+    def person_name(self) -> str:
+        return (f"{self.rng.choice(data.FIRST_NAMES)} "
+                f"{self.rng.choice(data.LAST_NAMES)}")
+
+    def element(self, parent: Element, tag: str,
+                text: str | None = None, **attrs: str) -> Element:
+        el = Element(tag, {k: str(v) for k, v in attrs.items()})
+        parent.append(el)
+        if text is not None:
+            el.append_text(text)
+        return el
+
+    # -- document sections ---------------------------------------------------
+
+    def build(self) -> Document:
+        doc = Document()
+        site = Element("site")
+        doc.append(site)
+        self.regions(site)
+        self.categories(site)
+        self.people(site)
+        self.open_auctions(site)
+        self.closed_auctions(site)
+        doc.renumber()
+        return doc
+
+    def regions(self, site: Element) -> None:
+        regions = self.element(site, "regions")
+        per_region = self._split(self.counts["items"], len(data.REGIONS))
+        item_id = 0
+        for region_name, n in zip(data.REGIONS, per_region):
+            region = self.element(regions, region_name)
+            for _ in range(n):
+                self.item(region, item_id)
+                item_id += 1
+
+    def item(self, region: Element, item_id: int) -> None:
+        item = self.element(region, "item", id=f"item{item_id}")
+        self.element(item, "location",
+                     self.rng.choice(data.COUNTRIES))
+        self.element(item, "quantity", str(self.rng.randint(1, 5)))
+        self.element(item, "name", self.words(2, 4))
+        payment = self.element(item, "payment")
+        payment.append_text(", ".join(
+            self.rng.sample(data.PAYMENT_KINDS,
+                            self.rng.randint(1, 3))))
+        self.description(item)
+        self.element(item, "shipping",
+                     self.rng.choice(data.SHIPPING_KINDS))
+        mailbox = self.element(item, "mailbox")
+        for _ in range(self.rng.randint(0, 2)):
+            mail = self.element(mailbox, "mail")
+            self.element(mail, "from", self.person_name())
+            self.element(mail, "to", self.person_name())
+            self.element(mail, "date", self._date())
+            self.element(mail, "text", self.sentence())
+
+    def description(self, parent: Element) -> None:
+        description = self.element(parent, "description")
+        text = self.element(description, "text")
+        text.append_text(self.sentence())
+        if self.rng.random() < 0.3:
+            self.element(description, "parlist",
+                         self.sentence())
+
+    def categories(self, site: Element) -> None:
+        categories = self.element(site, "categories")
+        for i in range(self.counts["categories"]):
+            category = self.element(categories, "category",
+                                    id=f"category{i}")
+            self.element(category, "name",
+                         self.rng.choice(data.CATEGORY_THEMES))
+            self.description(category)
+
+    def people(self, site: Element) -> None:
+        people = self.element(site, "people")
+        for i in range(self.counts["persons"]):
+            person = self.element(people, "person", id=f"person{i}")
+            self.element(person, "name", self.person_name())
+            self.element(person, "emailaddress",
+                         f"mailto:person{i}@xmark.example")
+            if self.rng.random() < 0.5:
+                self.element(person, "phone",
+                             f"+31 {self.rng.randint(10, 99)} "
+                             f"{self.rng.randint(1000000, 9999999)}")
+            if self.rng.random() < 0.4:
+                address = self.element(person, "address")
+                self.element(address, "street",
+                             f"{self.rng.randint(1, 99)} "
+                             f"{self.rng.choice(data.WORDS).title()} St")
+                self.element(address, "city",
+                             self.rng.choice(data.CITIES))
+                self.element(address, "country",
+                             self.rng.choice(data.COUNTRIES))
+            if self.rng.random() < 0.3:
+                self.element(person, "homepage",
+                             f"http://xmark.example/~person{i}")
+            if self.rng.random() < 0.6:
+                profile = self.element(
+                    person, "profile",
+                    income=f"{self.rng.uniform(9000, 90000):.2f}")
+                for _ in range(self.rng.randint(0, 3)):
+                    self.element(
+                        profile, "interest",
+                        category=(f"category"
+                                  f"{self.rng.randrange(self.counts['categories'])}"))
+                if self.rng.random() < 0.5:
+                    self.element(profile, "education",
+                                 self.rng.choice(
+                                     ("High School", "College",
+                                      "Graduate School", "Other")))
+                self.element(profile, "gender",
+                             self.rng.choice(("male", "female")))
+            if self.rng.random() < 0.4:
+                watches = self.element(person, "watches")
+                for _ in range(self.rng.randint(1, 3)):
+                    self.element(
+                        watches, "watch",
+                        open_auction=(f"open_auction"
+                                      f"{self.rng.randrange(self.counts['open_auctions'])}"))
+
+    def open_auctions(self, site: Element) -> None:
+        auctions = self.element(site, "open_auctions")
+        n_items = self.counts["items"]
+        n_people = self.counts["persons"]
+        for i in range(self.counts["open_auctions"]):
+            auction = self.element(auctions, "open_auction",
+                                   id=f"open_auction{i}")
+            self.element(auction, "initial",
+                         f"{self.rng.uniform(1, 200):.2f}")
+            for _ in range(self.rng.randint(1, 5)):
+                bidder = self.element(auction, "bidder")
+                self.element(bidder, "date", self._date())
+                self.element(
+                    bidder, "personref",
+                    person=f"person{self.rng.randrange(n_people)}")
+                self.element(bidder, "increase",
+                             f"{self.rng.uniform(1.5, 60):.2f}")
+            self.element(auction, "current",
+                         f"{self.rng.uniform(1, 400):.2f}")
+            self.element(auction, "itemref",
+                         item=f"item{self.rng.randrange(n_items)}")
+            self.element(auction, "seller",
+                         person=f"person{self.rng.randrange(n_people)}")
+            self.annotation(auction)
+            self.element(auction, "quantity", "1")
+            self.element(auction, "type", "Regular")
+            interval = self.element(auction, "interval")
+            self.element(interval, "start", self._date())
+            self.element(interval, "end", self._date())
+
+    def closed_auctions(self, site: Element) -> None:
+        auctions = self.element(site, "closed_auctions")
+        n_items = self.counts["items"]
+        n_people = self.counts["persons"]
+        for i in range(self.counts["closed_auctions"]):
+            auction = self.element(auctions, "closed_auction")
+            self.element(auction, "seller",
+                         person=f"person{self.rng.randrange(n_people)}")
+            self.element(auction, "buyer",
+                         person=f"person{self.rng.randrange(n_people)}")
+            self.element(auction, "itemref",
+                         item=f"item{self.rng.randrange(n_items)}")
+            self.element(auction, "price",
+                         f"{self.rng.uniform(1, 400):.2f}")
+            self.element(auction, "date", self._date())
+            self.element(auction, "quantity", "1")
+            self.element(auction, "type", "Regular")
+            self.annotation(auction)
+
+    def annotation(self, parent: Element) -> None:
+        annotation = self.element(parent, "annotation")
+        self.element(annotation, "author", self.person_name())
+        self.description(annotation)
+        self.element(annotation, "happiness",
+                     str(self.rng.randint(1, 10)))
+
+    def _date(self) -> str:
+        return (f"{self.rng.randint(1, 28):02d}/"
+                f"{self.rng.randint(1, 12):02d}/"
+                f"{self.rng.randint(1998, 2006)}")
+
+    def _split(self, total: int, buckets: int) -> list[int]:
+        base, extra = divmod(total, buckets)
+        return [base + (1 if i < extra else 0) for i in range(buckets)]
+
+
+def generate_xmark_document(scale: float = 1.0, seed: int = 42) -> Document:
+    """Generate an XMark-style auction document as a DOM."""
+    return _Gen(scale, seed).build()
+
+
+def generate_xmark(scale: float = 1.0, seed: int = 42) -> str:
+    """Generate an XMark-style auction document as XML text."""
+    return generate_xmark_document(scale, seed).serialize()

@@ -1,0 +1,35 @@
+"""XML substrate: parser, DOM, serializer, shredder and document store."""
+
+from repro.xmldb.dom import (
+    Attr,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+    document_order,
+)
+from repro.xmldb.parser import parse_document, parse_fragment
+from repro.xmldb.serializer import serialize
+from repro.xmldb.shred import ShreddedDocument, shred
+from repro.xmldb.store import DocumentStore, StoredDocument, extract_regions
+
+__all__ = [
+    "Attr",
+    "Comment",
+    "Document",
+    "Element",
+    "Node",
+    "ProcessingInstruction",
+    "Text",
+    "document_order",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "ShreddedDocument",
+    "shred",
+    "DocumentStore",
+    "StoredDocument",
+    "extract_regions",
+]

@@ -1,0 +1,108 @@
+"""BLOB storage: the annotated objects themselves (paper §2).
+
+The paper calls the object being annotated the BLOB — a video file, a
+text corpus, the raw image of a confiscated hard drive.  The XML
+database stores only annotations; the BLOB lives separately and regions
+index into it.  This module provides the missing half: registering
+BLOBs and materialising the content a (possibly non-contiguous) area
+refers to.
+
+Positions follow the paper's convention: inclusive ``[start, end]``
+offsets.  For text BLOBs, offsets are code points; for binary BLOBs,
+byte offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.region import Area, Region
+from repro.errors import RegionError, ReproError
+
+
+class Blob:
+    """One registered BLOB (text or bytes)."""
+
+    __slots__ = ("uri", "content")
+
+    def __init__(self, uri: str, content: str | bytes):
+        self.uri = uri
+        self.content = content
+
+    def __len__(self) -> int:
+        return len(self.content)
+
+    @property
+    def is_binary(self) -> bool:
+        return isinstance(self.content, bytes)
+
+    def slice(self, region: Region) -> str | bytes:
+        """The content of one inclusive region.
+
+        :raises RegionError: if the region exceeds the BLOB extent.
+        """
+        start, end = int(region.start), int(region.end)
+        if start < 0 or end >= len(self.content):
+            raise RegionError(
+                f"region {region} outside BLOB {self.uri!r} "
+                f"(length {len(self.content)})")
+        return self.content[start:end + 1]
+
+    def extract(self, area: Area, separator: str | bytes | None = None
+                ) -> str | bytes:
+        """The concatenated content of an area's regions.
+
+        Non-contiguous areas yield their fragments in start order,
+        joined by *separator* (default: empty).
+        """
+        if separator is None:
+            separator = b"" if self.is_binary else ""
+        parts = [self.slice(region) for region in area.regions]
+        return separator.join(parts)
+
+    def covered_fraction(self, areas: Iterator[Area]) -> float:
+        """Fraction of BLOB positions covered by at least one area."""
+        if len(self.content) == 0:
+            return 0.0
+        merged: list[Region] = []
+        for area in areas:
+            merged.extend(area.regions)
+        if not merged:
+            return 0.0
+        coalesced = Area.coalescing(merged)
+        covered = sum(r.end - r.start + 1 for r in coalesced.regions)
+        return covered / len(self.content)
+
+
+class BlobStore:
+    """All BLOBs known to a database instance, keyed by URI."""
+
+    def __init__(self) -> None:
+        self._by_uri: dict[str, Blob] = {}
+
+    def add(self, uri: str, content: str | bytes) -> Blob:
+        if uri in self._by_uri:
+            raise ReproError(f"BLOB {uri!r} already stored")
+        blob = Blob(uri, content)
+        self._by_uri[uri] = blob
+        return blob
+
+    def get(self, uri: str) -> Blob:
+        try:
+            return self._by_uri[uri]
+        except KeyError:
+            raise ReproError(f"BLOB {uri!r} not stored") from None
+
+    def remove(self, uri: str) -> None:
+        if uri not in self._by_uri:
+            raise ReproError(f"BLOB {uri!r} not stored")
+        del self._by_uri[uri]
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._by_uri
+
+    def __len__(self) -> int:
+        return len(self._by_uri)
+
+    def uris(self) -> list[str]:
+        return list(self._by_uri)

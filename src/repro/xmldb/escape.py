@@ -1,0 +1,72 @@
+"""Character escaping for XML text, attributes and entity expansion."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import XMLSyntaxError
+
+_PREDEFINED = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_ENTITY_RE = re.compile(r"&(#x[0-9A-Fa-f]+|#[0-9]+|[A-Za-z][A-Za-z0-9._-]*);")
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    return (text.replace("&", "&amp;")
+                .replace("<", "&lt;")
+                .replace(">", "&gt;"))
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for serialization in double quotes."""
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace('"', "&quot;")
+                 .replace("\n", "&#10;")
+                 .replace("\t", "&#9;"))
+
+
+def _expand_one(match: re.Match, line: int, column: int) -> str:
+    body = match.group(1)
+    if body.startswith("#x") or body.startswith("#X"):
+        code = int(body[2:], 16)
+    elif body.startswith("#"):
+        code = int(body[1:])
+    else:
+        try:
+            return _PREDEFINED[body]
+        except KeyError:
+            raise XMLSyntaxError(
+                f"unknown entity reference &{body};", line, column
+            ) from None
+    if code < 0 or code > 0x10FFFF:
+        raise XMLSyntaxError(f"character reference out of range: &{body};",
+                             line, column)
+    return chr(code)
+
+
+def unescape(text: str, line: int = 0, column: int = 0) -> str:
+    """Expand entity and character references in parsed text.
+
+    Only the five predefined entities and numeric character references are
+    supported (no DTD-defined entities — matching the engine's subset).
+    A bare ``&`` not forming a reference is a well-formedness error.
+    """
+    # Every '&' in the raw text must begin a well-formed reference.
+    pos = 0
+    while True:
+        pos = text.find("&", pos)
+        if pos == -1:
+            break
+        if not _ENTITY_RE.match(text, pos):
+            raise XMLSyntaxError("'&' must start an entity reference",
+                                 line, column)
+        pos += 1
+    return _ENTITY_RE.sub(lambda m: _expand_one(m, line, column), text)

@@ -1,0 +1,58 @@
+"""XML name handling: NCNames, QNames, prefix splitting.
+
+The engine stores element and attribute names as plain strings (possibly
+``prefix:local``).  Namespace *resolution* is out of scope for the subset
+(MonetDB/XQuery 0.10 era queries in the paper use no namespaces beyond the
+``standoff`` module declaration), but names are still validated and can be
+split into prefix/local parts for name tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import XMLSyntaxError
+
+# XML 1.0 NameStartChar / NameChar, restricted to the BMP ranges that
+# cover practical documents.
+_NAME_START = (
+    "A-Za-z_À-ÖØ-öø-˿Ͱ-ͽ"
+    "Ϳ-῿‌-‍⁰-↏Ⰰ-⿯、-퟿"
+    "豈-﷏ﷰ-�"
+)
+_NAME_CHAR = _NAME_START + "\\-.0-9·̀-ͯ‿-⁀"
+
+_NCNAME_RE = re.compile(f"^[{_NAME_START}][{_NAME_CHAR}]*$")
+_QNAME_RE = re.compile(
+    f"^[{_NAME_START}][{_NAME_CHAR}]*(:[{_NAME_START}][{_NAME_CHAR}]*)?$"
+)
+
+
+def is_ncname(name: str) -> bool:
+    """True when *name* is a valid NCName (no colon)."""
+    return bool(name) and ":" not in name and bool(_NCNAME_RE.match(name))
+
+
+def is_qname(name: str) -> bool:
+    """True when *name* is a valid QName (at most one colon)."""
+    return bool(name) and bool(_QNAME_RE.match(name))
+
+
+def require_qname(name: str, what: str = "name") -> str:
+    """Validate and return *name*; raise :class:`XMLSyntaxError` if bad."""
+    if not is_qname(name):
+        raise XMLSyntaxError(f"invalid XML {what}: {name!r}")
+    return name
+
+
+def split_qname(name: str) -> tuple[str | None, str]:
+    """Split ``prefix:local`` into ``(prefix, local)``; prefix may be None."""
+    prefix, sep, local = name.partition(":")
+    if not sep:
+        return None, name
+    return prefix, local
+
+
+def local_name(name: str) -> str:
+    """The local part of a possibly prefixed name."""
+    return split_qname(name)[1]

@@ -1,0 +1,90 @@
+"""XML parser: tokenizer events -> DOM documents."""
+
+from __future__ import annotations
+
+from repro.errors import XMLSyntaxError
+from repro.xmldb.dom import (
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xmldb.tokenizer import Tokenizer
+
+
+def parse_document(text: str, uri: str = "", doc_id: int = 0,
+                   *, keep_whitespace_text: bool = True) -> Document:
+    """Parse an XML string into a numbered :class:`Document`.
+
+    :param keep_whitespace_text: when False, whitespace-only text nodes
+        outside of mixed content are dropped (the usual DB shredding
+        behaviour; MonetDB/XQuery boundary-whitespace stripping).
+    :raises XMLSyntaxError: on any well-formedness violation.
+    """
+    tokenizer = Tokenizer(text)
+    doc = Document(uri=uri, doc_id=doc_id)
+    stack: list = [doc]
+    root_seen = False
+
+    for event in tokenizer.tokens():
+        kind = event[0]
+        top = stack[-1]
+        if kind == "start":
+            _name, attrs, selfclosing = event[1], event[2], event[3]
+            if top is doc and root_seen:
+                raise tokenizer._error("multiple root elements")
+            element = Element(_name)
+            for attr_name, attr_value in attrs:
+                element.set_attribute(attr_name, attr_value)
+            top.append(element)
+            if top is doc:
+                root_seen = True
+            if not selfclosing:
+                stack.append(element)
+        elif kind == "end":
+            name = event[1]
+            if top is doc:
+                raise tokenizer._error(
+                    f"closing tag </{name}> without open element")
+            if top.tag != name:
+                raise tokenizer._error(
+                    f"mismatched closing tag </{name}>; "
+                    f"open element is <{top.tag}>")
+            stack.pop()
+        elif kind == "text":
+            chunk = event[1]
+            if top is doc:
+                if chunk.strip():
+                    raise tokenizer._error(
+                        "character data outside the root element")
+                continue
+            if not keep_whitespace_text and not chunk.strip():
+                continue
+            top.append_text(chunk)
+        elif kind == "comment":
+            top.append(Comment(event[1]))
+        else:  # pi
+            top.append(ProcessingInstruction(event[1], event[2]))
+
+    if len(stack) > 1:
+        open_tags = ", ".join(el.tag for el in stack[1:])
+        raise XMLSyntaxError(f"unclosed element(s): {open_tags}")
+    if not root_seen:
+        raise XMLSyntaxError("document has no root element")
+    doc.renumber()
+    return doc
+
+
+def parse_fragment(text: str) -> list:
+    """Parse a sequence of top-level nodes (no single-root requirement).
+
+    Used by element constructors in the XQuery engine.  Returns the list
+    of parsed top-level nodes, numbered under a throwaway document.
+    """
+    wrapped = parse_document(f"<fragment-wrapper>{text}</fragment-wrapper>")
+    wrapper = wrapped.root_element
+    nodes = list(wrapper.children)
+    for node in nodes:
+        node.parent = None
+    return nodes

@@ -1,0 +1,80 @@
+"""DOM serialization back to XML text."""
+
+from __future__ import annotations
+
+from repro.xmldb.dom import (
+    Attr,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xmldb.escape import escape_attribute, escape_text
+
+
+def serialize(node: Node, *, indent: bool = False) -> str:
+    """Serialize a node (and its subtree) to XML text.
+
+    :param indent: pretty-print with two-space indentation.  Text nodes
+        suppress indentation of their element (mixed content is emitted
+        verbatim to keep the string value intact).
+    """
+    parts: list[str] = []
+    _write(node, parts, 0, indent)
+    return "".join(parts)
+
+
+def _has_element_only_content(element: Element) -> bool:
+    has_child_element = False
+    for child in element.children:
+        if isinstance(child, Text) and child.text.strip():
+            return False
+        if isinstance(child, Element):
+            has_child_element = True
+    return has_child_element
+
+
+def _write(node: Node, parts: list[str], depth: int, indent: bool) -> None:
+    pad = "  " * depth if indent else ""
+    if isinstance(node, Document):
+        for child in node.children:
+            _write(child, parts, depth, indent)
+            if indent:
+                parts.append("\n")
+        return
+    if isinstance(node, Text):
+        parts.append(escape_text(node.text))
+        return
+    if isinstance(node, Comment):
+        parts.append(f"{pad}<!--{node.text}-->")
+        return
+    if isinstance(node, ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        parts.append(f"{pad}<?{node.target}{data}?>")
+        return
+    if isinstance(node, Attr):
+        parts.append(f'{node.name}="{escape_attribute(node.value)}"')
+        return
+
+    element: Element = node  # type: ignore[assignment]
+    attr_text = "".join(
+        f' {attr.name}="{escape_attribute(attr.value)}"'
+        for attr in element.attributes)
+    if not element.children:
+        parts.append(f"{pad}<{element.tag}{attr_text}/>")
+        return
+    pretty_children = indent and _has_element_only_content(element)
+    parts.append(f"{pad}<{element.tag}{attr_text}>")
+    for child in element.children:
+        if pretty_children:
+            if isinstance(child, Text) and not child.text.strip():
+                continue
+            parts.append("\n")
+            _write(child, parts, depth + 1, indent)
+        else:
+            _write(child, parts, 0, False)
+    if pretty_children:
+        parts.append(f"\n{pad}")
+    parts.append(f"</{element.tag}>")

@@ -1,0 +1,115 @@
+"""Relational shredding of XML documents (MonetDB/Pathfinder style).
+
+A shredded document is a set of columns over pre ranks::
+
+    pre | size | level | kind | name | value
+
+plus a name dictionary and an element-name index (name -> sorted pre
+array) which serves as MonetDB/XQuery's "element index" for candidate
+pushdown into StandOff steps.  Attributes appear as rows of kind
+ATTRIBUTE numbered directly after their owner element, with their owner
+recoverable through the ``parent`` column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.xmldb.dom import (
+    Attr,
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+
+
+class ShreddedDocument:
+    """Column representation of one document; pre rank is the row number."""
+
+    def __init__(self, document: Document):
+        document.renumber()
+        nodes = document.all_nodes()
+        n = len(nodes)
+        self.document = document
+        self.pre = np.arange(n, dtype=np.int64)
+        self.size = np.fromiter((node.size for node in nodes),
+                                dtype=np.int64, count=n)
+        self.level = np.fromiter((node.level for node in nodes),
+                                 dtype=np.int64, count=n)
+        self.kind = np.fromiter((node.kind for node in nodes),
+                                dtype=np.int8, count=n)
+        parent = np.empty(n, dtype=np.int64)
+        names: list[str] = []
+        name_ids: dict[str, int] = {}
+        name_col = np.full(n, -1, dtype=np.int32)
+        values: dict[int, str] = {}
+
+        for i, node in enumerate(nodes):
+            parent[i] = node.parent.pre if node.parent is not None else -1
+            name = None
+            if isinstance(node, Element):
+                name = node.tag
+            elif isinstance(node, Attr):
+                name = node.name
+                values[i] = node.value
+            elif isinstance(node, (Text, Comment)):
+                values[i] = node.text
+            elif isinstance(node, ProcessingInstruction):
+                name = node.target
+                values[i] = node.data
+            if name is not None:
+                nid = name_ids.setdefault(name, len(name_ids))
+                if nid == len(names):
+                    names.append(name)
+                name_col[i] = nid
+        self.parent = parent
+        self.names = names
+        self._name_ids = name_ids
+        self.name = name_col
+        self.values = values
+
+        # element-name index: name id -> sorted pre array
+        element_mask = self.kind == Element.kind
+        self._element_index: dict[int, np.ndarray] = {}
+        if element_mask.any():
+            el_pres = self.pre[element_mask]
+            el_names = name_col[element_mask]
+            order = np.argsort(el_names, kind="stable")
+            el_pres, el_names = el_pres[order], el_names[order]
+            boundaries = np.flatnonzero(np.diff(el_names)) + 1
+            for chunk, nid in zip(
+                    np.split(el_pres, boundaries),
+                    el_names[np.concatenate(([0], boundaries))]):
+                self._element_index[int(nid)] = np.sort(chunk)
+
+    def __len__(self) -> int:
+        return len(self.pre)
+
+    def name_of(self, pre: int) -> str | None:
+        nid = self.name[pre]
+        return self.names[nid] if nid >= 0 else None
+
+    def value_of(self, pre: int) -> str | None:
+        return self.values.get(int(pre))
+
+    def elements_named(self, tag: str) -> np.ndarray:
+        """Sorted pre ranks of elements with the given tag (element index)."""
+        nid = self._name_ids.get(tag)
+        if nid is None:
+            return np.empty(0, dtype=np.int64)
+        return self._element_index.get(nid, np.empty(0, dtype=np.int64))
+
+    def all_element_pres(self) -> np.ndarray:
+        """Sorted pre ranks of all element nodes."""
+        return self.pre[self.kind == Element.kind]
+
+    def post(self) -> np.ndarray:
+        """Post-order ranks derived from pre/size (pre + size)."""
+        return self.pre + self.size
+
+
+def shred(document: Document) -> ShreddedDocument:
+    """Shred a document into its column representation."""
+    return ShreddedDocument(document)

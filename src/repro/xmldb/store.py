@@ -1,0 +1,229 @@
+"""Document store: named documents, shredded columns, region indexes.
+
+The store owns everything the engine needs per document:
+
+* the DOM (for the tree-walking evaluator and serialization);
+* the shredded column representation (for Staircase Join and the
+  element-name index);
+* the **region index** extracted according to a
+  :class:`~repro.config.StandoffConfig` (attribute or element
+  representation, configurable names — paper §2).
+
+Because the region representation is a *run-time* setting (a query's
+``declare option`` preamble may change it), region indexes are built
+lazily per (document, config) pair and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.config import DEFAULT_CONFIG, StandoffConfig
+from repro.core.region import Area, Region
+from repro.core.region_index import RegionIndex
+from repro.errors import RegionError, ReproError
+from repro.xmldb.dom import Document, Element
+from repro.xmldb.parser import parse_document
+from repro.xmldb.shred import ShreddedDocument, shred
+
+
+def extract_regions(document: Document, config: StandoffConfig = DEFAULT_CONFIG
+                    ) -> Iterator[tuple[int, int | float, int | float]]:
+    """Yield ``(pre, start, end)`` for every area-annotation element.
+
+    Under the attribute representation an element is an area-annotation
+    when it carries *both* the start and the end attribute; under the
+    element representation when it has at least one ``<region>`` child
+    with start/end child elements.  Elements with only one half of a
+    region raise :class:`RegionError` — silently ignoring them would turn
+    data errors into empty query results.
+    """
+    document.renumber()
+    for node in document.descendants():
+        if not isinstance(node, Element):
+            continue
+        if config.uses_region_elements:
+            for region_el in node.elements(config.region_name):
+                start_el = region_el.find(config.start_name)
+                end_el = region_el.find(config.end_name)
+                if start_el is None and end_el is None:
+                    continue
+                if start_el is None or end_el is None:
+                    raise RegionError(
+                        f"<{config.region_name}> under <{node.tag}> has "
+                        f"only one of <{config.start_name}>/"
+                        f"<{config.end_name}>")
+                start = config.parse_position(start_el.string_value())
+                end = config.parse_position(end_el.string_value())
+                _check(start, end, node)
+                yield node.pre, start, end
+        else:
+            raw_start = node.get_attribute(config.start_name)
+            raw_end = node.get_attribute(config.end_name)
+            if raw_start is None and raw_end is None:
+                continue
+            if raw_start is None or raw_end is None:
+                raise RegionError(
+                    f"element <{node.tag}> (pre {node.pre}) has only one "
+                    f"of @{config.start_name}/@{config.end_name}")
+            start = config.parse_position(raw_start)
+            end = config.parse_position(raw_end)
+            _check(start, end, node)
+            yield node.pre, start, end
+
+
+def _check(start, end, node: Element) -> None:
+    if start > end:
+        raise RegionError(
+            f"element <{node.tag}> (pre {node.pre}) has start {start!r} "
+            f"> end {end!r}")
+
+
+class StoredDocument:
+    """A document plus its derived structures."""
+
+    def __init__(self, document: Document):
+        self.document = document
+        self._shredded: ShreddedDocument | None = None
+        self._region_indexes: dict[StandoffConfig, RegionIndex] = {}
+
+    @property
+    def doc_id(self) -> int:
+        return self.document.doc_id
+
+    @property
+    def uri(self) -> str:
+        return self.document.uri
+
+    @property
+    def shredded(self) -> ShreddedDocument:
+        if self._shredded is None:
+            self._shredded = shred(self.document)
+        return self._shredded
+
+    def region_index(self, config: StandoffConfig = DEFAULT_CONFIG
+                     ) -> RegionIndex:
+        index = self._region_indexes.get(config)
+        if index is None:
+            index = RegionIndex.build(extract_regions(self.document, config))
+            self._region_indexes[config] = index
+        return index
+
+    def area_of_node(self, pre: int,
+                     config: StandoffConfig = DEFAULT_CONFIG) -> Area | None:
+        """The area of the node with the given pre rank, if annotated."""
+        return self.region_index(config).area_of(pre)
+
+    def invalidate(self) -> None:
+        """Drop derived structures after a structural update.
+
+        The DOM is renumbered; the shredded columns and all region
+        indexes are rebuilt lazily on next use.  This is the
+        *per-document* maintenance cost the paper's §3.3 design keeps
+        local (contrast: the store-level global index rebuilds whole).
+        """
+        self.document.renumber()
+        self._shredded = None
+        self._region_indexes.clear()
+
+
+class DocumentStore:
+    """All documents known to a database instance, keyed by URI."""
+
+    def __init__(self) -> None:
+        self._by_uri: dict[str, StoredDocument] = {}
+        self._by_id: dict[int, StoredDocument] = {}
+        self._next_id = 1
+        #: bumped on every add/remove; global index caches key on it
+        self.version = 0
+        self._global_indexes: dict = {}
+
+    def add(self, uri: str, xml: str | Document, *,
+            keep_whitespace_text: bool = False) -> StoredDocument:
+        """Parse (if given text) and register a document under *uri*."""
+        if uri in self._by_uri:
+            raise ReproError(f"document {uri!r} already stored")
+        if isinstance(xml, Document):
+            document = xml
+            document.uri = uri
+            document.doc_id = self._next_id
+            document.renumber()
+        else:
+            document = parse_document(
+                xml, uri=uri, doc_id=self._next_id,
+                keep_whitespace_text=keep_whitespace_text)
+        self._next_id += 1
+        stored = StoredDocument(document)
+        self._by_uri[uri] = stored
+        self._by_id[document.doc_id] = stored
+        self.version += 1
+        return stored
+
+    def remove(self, uri: str) -> None:
+        stored = self._by_uri.pop(uri, None)
+        if stored is None:
+            raise ReproError(f"document {uri!r} not stored")
+        del self._by_id[stored.doc_id]
+        self.version += 1
+
+    def get(self, uri: str) -> StoredDocument:
+        try:
+            return self._by_uri[uri]
+        except KeyError:
+            raise ReproError(f"document {uri!r} not stored") from None
+
+    def by_id(self, doc_id: int) -> StoredDocument:
+        try:
+            return self._by_id[doc_id]
+        except KeyError:
+            raise ReproError(f"no document with id {doc_id}") from None
+
+    def by_document(self, document: Document) -> StoredDocument | None:
+        stored = self._by_id.get(document.doc_id)
+        if stored is not None and stored.document is document:
+            return stored
+        return None
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._by_uri
+
+    def __iter__(self) -> Iterator[StoredDocument]:
+        return iter(self._by_uri.values())
+
+    def __len__(self) -> int:
+        return len(self._by_uri)
+
+    def uris(self) -> list[str]:
+        return list(self._by_uri)
+
+    def touch(self, uri: str) -> StoredDocument:
+        """Record a structural update to *uri*: rebuild its derived
+        structures lazily and invalidate the collection-global index."""
+        stored = self.get(uri)
+        stored.invalidate()
+        self.version += 1
+        return stored
+
+    def region_indexes(self, config: StandoffConfig = DEFAULT_CONFIG
+                       ) -> dict[int, "RegionIndex"]:
+        """Per-fragment region indexes, keyed by doc id."""
+        return {stored.doc_id: stored.region_index(config)
+                for stored in self._by_uri.values()}
+
+    def global_region_index(self, config: StandoffConfig = DEFAULT_CONFIG):
+        """The collection-wide region index (paper §3.3 (ii)).
+
+        Cached per (store version, config): any document add/remove
+        invalidates the *whole* global index — exactly the maintenance
+        cost the paper warns about (a per-document index would only
+        rebuild locally).
+        """
+        from repro.core.global_index import GlobalRegionIndex
+
+        key = (self.version, config)
+        index = self._global_indexes.get(key)
+        if index is None:
+            self._global_indexes.clear()     # old versions are garbage
+            index = GlobalRegionIndex(self.region_indexes(config))
+            self._global_indexes[key] = index
+        return index

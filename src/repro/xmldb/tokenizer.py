@@ -1,0 +1,186 @@
+"""A streaming XML tokenizer producing well-formedness-checked events.
+
+The tokenizer walks the document text once and yields event tuples:
+
+====================== ==============================================
+``("start", name, attrs, selfclosing)``  start tag (attrs: list of pairs)
+``("end", name)``                         end tag
+``("text", text)``                        character data (entities expanded)
+``("comment", text)``                     comment
+``("pi", target, data)``                  processing instruction
+====================== ==============================================
+
+XML declarations and DOCTYPE declarations are recognised and skipped
+(no external DTD support — the engine's subset).  CDATA sections become
+text events.  Tag-nesting balance is the parser's job; the tokenizer only
+checks token-local well-formedness.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import XMLSyntaxError
+from repro.xmldb.escape import unescape
+from repro.xmldb.names import is_qname
+
+_WS = " \t\r\n"
+_NAME_END = _WS + ">/=!?"
+
+Event = tuple
+
+
+class Tokenizer:
+    """Single-pass tokenizer over an XML string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.n = len(text)
+
+    # -- position helpers -------------------------------------------------
+
+    def _line_col(self, pos: int | None = None) -> tuple[int, int]:
+        pos = self.pos if pos is None else pos
+        line = self.text.count("\n", 0, pos) + 1
+        last_nl = self.text.rfind("\n", 0, pos)
+        return line, pos - last_nl
+
+    def _error(self, message: str, pos: int | None = None) -> XMLSyntaxError:
+        line, col = self._line_col(pos)
+        return XMLSyntaxError(message, line, col)
+
+    def _skip_ws(self) -> None:
+        while self.pos < self.n and self.text[self.pos] in _WS:
+            self.pos += 1
+
+    def _expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise self._error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def _read_until(self, terminator: str, what: str) -> str:
+        idx = self.text.find(terminator, self.pos)
+        if idx == -1:
+            raise self._error(f"unterminated {what}")
+        chunk = self.text[self.pos:idx]
+        self.pos = idx + len(terminator)
+        return chunk
+
+    def _read_name(self) -> str:
+        start = self.pos
+        while self.pos < self.n and self.text[self.pos] not in _NAME_END:
+            self.pos += 1
+        name = self.text[start:self.pos]
+        if not is_qname(name):
+            raise self._error(f"invalid name {name!r}", start)
+        return name
+
+    # -- token productions --------------------------------------------------
+
+    def _read_attributes(self) -> tuple[list[tuple[str, str]], bool]:
+        attrs: list[tuple[str, str]] = []
+        seen: set[str] = set()
+        while True:
+            self._skip_ws()
+            if self.pos >= self.n:
+                raise self._error("unterminated start tag")
+            ch = self.text[self.pos]
+            if ch == ">":
+                self.pos += 1
+                return attrs, False
+            if ch == "/":
+                self._expect("/>")
+                return attrs, True
+            name = self._read_name()
+            if name in seen:
+                raise self._error(f"duplicate attribute {name!r}")
+            seen.add(name)
+            self._skip_ws()
+            self._expect("=")
+            self._skip_ws()
+            if self.pos >= self.n or self.text[self.pos] not in "\"'":
+                raise self._error("attribute value must be quoted")
+            quote = self.text[self.pos]
+            self.pos += 1
+            raw = self._read_until(quote, "attribute value")
+            if "<" in raw:
+                raise self._error("'<' not allowed in attribute value")
+            line, col = self._line_col()
+            attrs.append((name, unescape(raw, line, col)))
+
+    def tokens(self) -> Iterator[Event]:
+        """Yield events for the whole input."""
+        while self.pos < self.n:
+            lt = self.text.find("<", self.pos)
+            if lt == -1:
+                chunk = self.text[self.pos:]
+                self.pos = self.n
+                if chunk:
+                    line, col = self._line_col()
+                    yield ("text", unescape(chunk, line, col))
+                return
+            if lt > self.pos:
+                chunk = self.text[self.pos:lt]
+                line, col = self._line_col()
+                self.pos = lt
+                yield ("text", unescape(chunk, line, col))
+            # self.pos is at '<'
+            nxt = self.text[self.pos + 1] if self.pos + 1 < self.n else ""
+            if nxt == "/":
+                self.pos += 2
+                name = self._read_name()
+                self._skip_ws()
+                self._expect(">")
+                yield ("end", name)
+            elif nxt == "?":
+                self.pos += 2
+                target = self._read_name()
+                data = self._read_until("?>", "processing instruction")
+                if target.lower() == "xml":
+                    continue  # XML declaration: recognised, skipped
+                yield ("pi", target, data.strip())
+            elif nxt == "!":
+                if self.text.startswith("<!--", self.pos):
+                    self.pos += 4
+                    body = self._read_until("-->", "comment")
+                    if "--" in body:
+                        raise self._error("'--' not allowed inside comment")
+                    yield ("comment", body)
+                elif self.text.startswith("<![CDATA[", self.pos):
+                    self.pos += 9
+                    yield ("text", self._read_until("]]>", "CDATA section"))
+                elif self.text.startswith("<!DOCTYPE", self.pos):
+                    self._skip_doctype()
+                else:
+                    raise self._error("unrecognised markup declaration")
+            else:
+                self.pos += 1
+                name = self._read_name()
+                attrs, selfclosing = self._read_attributes()
+                yield ("start", name, attrs, selfclosing)
+
+    def _skip_doctype(self) -> None:
+        """Skip a DOCTYPE declaration, including an internal subset."""
+        self.pos += len("<!DOCTYPE")
+        depth = 0
+        while self.pos < self.n:
+            ch = self.text[self.pos]
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                self.pos += 1
+                return
+            self.pos += 1
+        raise self._error("unterminated DOCTYPE declaration")
+
+
+_COMPACT_WS = re.compile(r"\s+")
+
+
+def tokenize(text: str) -> Iterator[Event]:
+    """Convenience wrapper: tokenize an XML string."""
+    return Tokenizer(text).tokens()

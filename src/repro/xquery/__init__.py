@@ -1,0 +1,14 @@
+"""XQuery-subset engine with the four StandOff axis steps.
+
+Public entry points:
+
+* :class:`~repro.xquery.engine.Database` — documents + queries;
+* :func:`~repro.xquery.parser.parse` / ``parse_expr`` — parsing only;
+* :mod:`~repro.xquery.evaluator` — iterative reference evaluation;
+* :mod:`~repro.xquery.bulk` — loop-lifted evaluation.
+"""
+
+from repro.xquery.engine import Database, QueryResult
+from repro.xquery.parser import parse, parse_expr
+
+__all__ = ["Database", "QueryResult", "parse", "parse_expr"]

@@ -1,0 +1,150 @@
+"""Standard XPath axes over the DOM, plus node tests.
+
+Each axis function yields nodes in *axis order*: document order for
+forward axes, reverse document order for reverse axes (``ancestor``,
+``ancestor-or-self``, ``parent``, ``preceding``, ``preceding-sibling``)
+— the order in which positional predicates count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.xmldb.dom import (
+    Attr,
+    Comment,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xquery.ast import NodeTest
+
+
+def axis_child(node: Node) -> Iterator[Node]:
+    return iter(node.children)
+
+
+def axis_descendant(node: Node) -> Iterator[Node]:
+    return node.descendants()
+
+
+def axis_descendant_or_self(node: Node) -> Iterator[Node]:
+    return node.descendants_or_self()
+
+
+def axis_self(node: Node) -> Iterator[Node]:
+    yield node
+
+
+def axis_parent(node: Node) -> Iterator[Node]:
+    if node.parent is not None:
+        yield node.parent
+
+
+def axis_ancestor(node: Node) -> Iterator[Node]:
+    return node.ancestors()
+
+
+def axis_ancestor_or_self(node: Node) -> Iterator[Node]:
+    yield node
+    yield from node.ancestors()
+
+
+def _siblings(node: Node) -> list[Node]:
+    if node.parent is None or isinstance(node, Attr):
+        return []
+    return node.parent.children
+
+
+def axis_following_sibling(node: Node) -> Iterator[Node]:
+    siblings = _siblings(node)
+    try:
+        idx = next(i for i, s in enumerate(siblings) if s is node)
+    except StopIteration:
+        return
+    yield from siblings[idx + 1:]
+
+
+def axis_preceding_sibling(node: Node) -> Iterator[Node]:
+    siblings = _siblings(node)
+    try:
+        idx = next(i for i, s in enumerate(siblings) if s is node)
+    except StopIteration:
+        return
+    yield from reversed(siblings[:idx])
+
+
+def axis_following(node: Node) -> Iterator[Node]:
+    anchor = node
+    while anchor is not None:
+        for sibling in axis_following_sibling(anchor):
+            yield from sibling.descendants_or_self()
+        anchor = anchor.parent
+
+
+def axis_preceding(node: Node) -> Iterator[Node]:
+    ancestors = set(id(a) for a in node.ancestors())
+    collected: list[Node] = []
+    anchor = node
+    while anchor is not None:
+        for sibling in axis_preceding_sibling(anchor):
+            collected.extend(sibling.descendants_or_self())
+        anchor = anchor.parent
+    collected = [n for n in collected if id(n) not in ancestors]
+    collected.sort(key=Node.sort_key, reverse=True)
+    yield from collected
+
+
+def axis_attribute(node: Node) -> Iterator[Node]:
+    if isinstance(node, Element):
+        yield from node.attributes
+
+
+AXIS_FUNCTIONS: dict[str, Callable[[Node], Iterator[Node]]] = {
+    "child": axis_child,
+    "descendant": axis_descendant,
+    "descendant-or-self": axis_descendant_or_self,
+    "self": axis_self,
+    "parent": axis_parent,
+    "ancestor": axis_ancestor,
+    "ancestor-or-self": axis_ancestor_or_self,
+    "following-sibling": axis_following_sibling,
+    "preceding-sibling": axis_preceding_sibling,
+    "following": axis_following,
+    "preceding": axis_preceding,
+    "attribute": axis_attribute,
+}
+
+REVERSE_AXES = frozenset({
+    "parent", "ancestor", "ancestor-or-self",
+    "preceding", "preceding-sibling",
+})
+
+
+def matches_test(node: Node, test: NodeTest, axis: str = "child") -> bool:
+    """Apply a node test; the principal node kind depends on the axis
+    (elements everywhere except the attribute axis)."""
+    if test.kind == "node":
+        return True
+    if test.kind == "text":
+        return isinstance(node, Text)
+    if test.kind == "comment":
+        return isinstance(node, Comment)
+    if test.kind == "processing-instruction":
+        return isinstance(node, ProcessingInstruction)
+    # name test
+    if axis == "attribute":
+        if not isinstance(node, Attr):
+            return False
+        return test.name == "*" or node.name == test.name \
+            or node.local_name == _local(test.name)
+    if not isinstance(node, Element):
+        return False
+    if test.name == "*":
+        return True
+    return node.tag == test.name or node.local_name == _local(test.name)
+
+
+def _local(name: str) -> str:
+    return name.rpartition(":")[2]

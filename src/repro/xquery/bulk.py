@@ -1,0 +1,629 @@
+"""Loop-lifted (bulk) evaluator — the Pathfinder-style execution model.
+
+Expressions evaluate to :class:`~repro.relational.sequence.IterSeq`
+values (the ``iter|pos|item`` representation of §4.1) under a *loop
+relation* listing the live iterations.  A ``for`` clause expands the
+loop (one inner iteration per binding item), relifts the visible
+variables, and unlifts the body's result back — so an axis step in the
+body sees the context nodes of **all** iterations at once:
+
+* StandOff steps issue a **single** Loop-Lifted StandOff MergeJoin call
+  (:func:`repro.xquery.standoff.standoff_axis_step_lifted`);
+* descendant steps without predicates use loop-lifted Staircase Join.
+
+This evaluator covers the full query subset except user-defined
+functions (which are the paper's *measured baseline* and therefore stay
+on the iterative engine); calling one under the loop-lifted strategy
+raises :class:`~repro.errors.UnsupportedFeatureError`.  ``order by``
+and quantifiers are loop-lifted like everything else.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    UnsupportedFeatureError,
+    XQueryStaticError,
+    XQueryTypeError,
+)
+from repro.relational.sequence import IterSeq, Loop, expand_loop, unlift
+from repro.xmldb.dom import Document, Element, Node, Text, document_order
+from repro.xquery import ast
+from repro.xquery.axes import AXIS_FUNCTIONS, REVERSE_AXES, matches_test
+from repro.xquery.context import DynamicContext, Focus
+from repro.xquery.evaluator import (
+    _copy_node,
+    _filter_by_predicate,
+    _renumber_fragment,
+)
+from repro.xquery.functions import lookup_builtin
+from repro.xquery.standoff import standoff_axis_step_lifted
+from repro.xquery.values import (
+    arithmetic,
+    atomic_to_string,
+    atomize,
+    atomize_single,
+    effective_boolean_value,
+    general_compare,
+    is_node,
+    to_number,
+    value_compare,
+)
+
+
+class BulkEnv:
+    """Evaluation environment: dynamic context + loop + lifted variables."""
+
+    __slots__ = ("ctx", "loop", "variables", "focus_seq")
+
+    def __init__(self, ctx: DynamicContext, loop: Loop,
+                 variables: dict[str, IterSeq],
+                 focus_seq: IterSeq | None = None):
+        self.ctx = ctx
+        self.loop = loop
+        self.variables = variables
+        self.focus_seq = focus_seq
+
+    def child(self, *, loop: Loop | None = None,
+              variables: dict[str, IterSeq] | None = None,
+              focus_seq: IterSeq | None = None) -> "BulkEnv":
+        return BulkEnv(self.ctx,
+                       self.loop if loop is None else loop,
+                       self.variables if variables is None else variables,
+                       self.focus_seq if focus_seq is None else focus_seq)
+
+
+def evaluate_module_bulk(module: ast.Module, ctx: DynamicContext) -> list:
+    """Evaluate a module loop-lifted; returns the top-level item list."""
+    loop: Loop = [0]
+    variables = {name: IterSeq.lifted(list(value), loop)
+                 for name, value in ctx.variables.items()}
+    focus_seq = None
+    if ctx.focus is not None:
+        focus_seq = IterSeq.lifted([ctx.focus.item], loop)
+    env = BulkEnv(ctx, loop, variables, focus_seq)
+    for decl in module.prolog.variables:
+        value = eval_bulk(decl.value, env)
+        env.variables[decl.name] = value
+    if module.prolog.functions:
+        # User-defined functions force the iterative evaluator (the
+        # paper's UDF alternative *is* the baseline being measured).
+        raise UnsupportedFeatureError(
+            "user-defined functions are not supported by the loop-lifted "
+            "evaluator; use strategy='udf' or 'basic'")
+    result = eval_bulk(module.body, env)
+    return result.items_for(0)
+
+
+def eval_bulk(expr: ast.Expr, env: BulkEnv) -> IterSeq:
+    method = _DISPATCH.get(type(expr))
+    if method is None:
+        raise UnsupportedFeatureError(
+            f"{type(expr).__name__} is not supported by the loop-lifted "
+            "evaluator")
+    return method(expr, env)
+
+
+# ----------------------------------------------------------------------
+# leaves
+# ----------------------------------------------------------------------
+
+def _bulk_literal(expr: ast.Literal, env: BulkEnv) -> IterSeq:
+    return IterSeq.lifted([expr.value], env.loop)
+
+
+def _bulk_empty(expr, env: BulkEnv) -> IterSeq:
+    return IterSeq({})
+
+
+def _bulk_varref(expr: ast.VarRef, env: BulkEnv) -> IterSeq:
+    try:
+        return env.variables[expr.name]
+    except KeyError:
+        from repro.errors import XQueryDynamicError
+
+        raise XQueryDynamicError(f"undefined variable ${expr.name}",
+                                 code="err:XPDY0002") from None
+
+
+def _bulk_context_item(expr, env: BulkEnv) -> IterSeq:
+    if env.focus_seq is None:
+        from repro.errors import XQueryDynamicError
+
+        raise XQueryDynamicError("the context item is undefined here",
+                                 code="err:XPDY0002")
+    return env.focus_seq
+
+
+def _bulk_sequence(expr: ast.Sequence, env: BulkEnv) -> IterSeq:
+    out = IterSeq({})
+    for item in expr.items:
+        out = out.concat(eval_bulk(item, env))
+    return out
+
+
+# ----------------------------------------------------------------------
+# per-iteration scalar application
+# ----------------------------------------------------------------------
+
+def _per_iter(env: BulkEnv, arg_seqs: list[IterSeq], fn) -> IterSeq:
+    """Apply ``fn(items...) -> list`` independently per live iteration."""
+    out: dict[int, list] = {}
+    for it in env.loop:
+        result = fn(*[seq.items_for(it) for seq in arg_seqs])
+        if result:
+            out[it] = result
+    return IterSeq(out)
+
+
+def _bulk_unary(expr: ast.UnaryOp, env: BulkEnv) -> IterSeq:
+    operand = eval_bulk(expr.operand, env)
+
+    def apply(items):
+        value = atomize_single(items, "unary operand")
+        if value is None:
+            return []
+        number = to_number(value)
+        if isinstance(value, int) and not isinstance(value, bool):
+            number = int(value)
+        return [-number if expr.op == "-" else +number]
+
+    return _per_iter(env, [operand], apply)
+
+
+def _bulk_range(expr: ast.RangeExpr, env: BulkEnv) -> IterSeq:
+    lo = eval_bulk(expr.lo, env)
+    hi = eval_bulk(expr.hi, env)
+
+    def apply(lo_items, hi_items):
+        a = atomize_single(lo_items, "range start")
+        b = atomize_single(hi_items, "range end")
+        if a is None or b is None:
+            return []
+        return list(range(int(to_number(a)), int(to_number(b)) + 1))
+
+    return _per_iter(env, [lo, hi], apply)
+
+
+def _bulk_if(expr: ast.IfExpr, env: BulkEnv) -> IterSeq:
+    condition = eval_bulk(expr.condition, env)
+    true_loop = [it for it in env.loop
+                 if effective_boolean_value(condition.items_for(it))]
+    false_loop = [it for it in env.loop if it not in set(true_loop)]
+    out: dict[int, list] = {}
+    if true_loop:
+        then_val = eval_bulk(expr.then, env.child(loop=true_loop))
+        for it in true_loop:
+            items = then_val.items_for(it)
+            if items:
+                out[it] = items
+    if false_loop:
+        else_val = eval_bulk(expr.orelse, env.child(loop=false_loop))
+        for it in false_loop:
+            items = else_val.items_for(it)
+            if items:
+                out[it] = items
+    return IterSeq(out)
+
+
+_GENERAL_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_VALUE_OPS = {"eq", "ne", "lt", "le", "gt", "ge"}
+_ARITH_OPS = {"+", "-", "*", "div", "idiv", "mod"}
+
+
+def _bulk_binary(expr: ast.BinaryOp, env: BulkEnv) -> IterSeq:
+    op = expr.op
+    left = eval_bulk(expr.left, env)
+    right = eval_bulk(expr.right, env)
+    if op in _GENERAL_OPS:
+        return _per_iter(env, [left, right],
+                         lambda a, b: [general_compare(a, b, op)])
+    if op in _VALUE_OPS:
+        return _per_iter(env, [left, right],
+                         lambda a, b: value_compare(a, b, op))
+    if op in _ARITH_OPS:
+        return _per_iter(env, [left, right],
+                         lambda a, b: arithmetic(a, b, op))
+    if op == "and":
+        return _per_iter(env, [left, right], lambda a, b: [
+            effective_boolean_value(a) and effective_boolean_value(b)])
+    if op == "or":
+        return _per_iter(env, [left, right], lambda a, b: [
+            effective_boolean_value(a) or effective_boolean_value(b)])
+    if op == "union":
+        def union(a, b):
+            for item in (*a, *b):
+                if not is_node(item):
+                    raise XQueryTypeError("'union' requires nodes")
+            return document_order([*a, *b])
+        return _per_iter(env, [left, right], union)
+    if op in ("intersect", "except"):
+        def setop(a, b):
+            ids = {id(n) for n in b}
+            if op == "intersect":
+                return document_order([n for n in a if id(n) in ids])
+            return document_order([n for n in a if id(n) not in ids])
+        return _per_iter(env, [left, right], setop)
+    raise UnsupportedFeatureError(
+        f"operator {op!r} is not supported loop-lifted")
+
+
+# ----------------------------------------------------------------------
+# FLWOR — the loop-lifting core
+# ----------------------------------------------------------------------
+
+def _bulk_flwor(expr: ast.FLWOR, env: BulkEnv) -> IterSeq:
+    inner_env = env
+    maps: list[list[int]] = []
+    for clause in expr.clauses:
+        if isinstance(clause, ast.LetClause):
+            value = eval_bulk(clause.value, inner_env)
+            variables = dict(inner_env.variables)
+            variables[clause.var] = value
+            inner_env = inner_env.child(variables=variables)
+        else:
+            binding = eval_bulk(clause.binding, inner_env)
+            inner_loop, outer_of_inner, var_seq, pos_seq = expand_loop(
+                binding, inner_env.loop)
+            variables = {name: seq.relift(outer_of_inner)
+                         for name, seq in inner_env.variables.items()}
+            variables[clause.var] = var_seq
+            if clause.position_var:
+                variables[clause.position_var] = pos_seq
+            focus_seq = (inner_env.focus_seq.relift(outer_of_inner)
+                         if inner_env.focus_seq is not None else None)
+            inner_env = BulkEnv(env.ctx, inner_loop, variables, focus_seq)
+            maps.append(outer_of_inner)
+
+    if expr.where is not None:
+        condition = eval_bulk(expr.where, inner_env)
+        live = [it for it in inner_env.loop
+                if effective_boolean_value(condition.items_for(it))]
+        inner_env = inner_env.child(loop=live)
+
+    result = eval_bulk(expr.return_expr, inner_env)
+    live_set = set(inner_env.loop)
+    result = IterSeq({it: items for it, items in result.data.items()
+                      if it in live_set})
+
+    if expr.order_by and maps:
+        # Loop-lifted 'order by': the FLWOR's tuple stream is the
+        # innermost loop; sort its iterations by their bulk-evaluated
+        # keys within each *outermost* group (= one iteration of the
+        # FLWOR's own enclosing scope), then collapse directly to that
+        # level — XQuery orders the whole tuple stream, so the
+        # intermediate nesting order is deliberately discarded.
+        ordered, group_of = _bulk_order_by(expr.order_by, inner_env, maps)
+        out: dict[int, list] = {}
+        for q in ordered:
+            items = result.data.get(q)
+            if items:
+                out.setdefault(group_of[q], []).extend(items)
+        return IterSeq(out)
+
+    for outer_of_inner in reversed(maps):
+        result = unlift(result, outer_of_inner)
+    return result
+
+
+def _bulk_order_by(specs: list[ast.OrderSpec], inner_env: BulkEnv,
+                   maps: list[list[int]]
+                   ) -> tuple[list[int], dict[int, int]]:
+    """Sort the innermost iterations; returns ``(ordered, group_of)``
+    where ``group_of[q]`` is the outermost-scope iteration that inner
+    iteration *q* descends from."""
+    from repro.xquery.evaluator import _OrderKey
+
+    keys: list[IterSeq] = [eval_bulk(spec.key, inner_env)
+                           for spec in specs]
+    cursor = list(range(len(maps[-1])))
+    for outer_map in reversed(maps):
+        cursor = [outer_map[q] for q in cursor]
+    group_of = dict(enumerate(cursor))
+
+    def sort_key(q: int):
+        parts: list = [group_of[q]]
+        for spec, key_seq in zip(specs, keys):
+            value = atomize_single(key_seq.items_for(q), "order by key")
+            parts.append(_OrderKey(value, spec.descending))
+        return parts
+
+    return sorted(inner_env.loop, key=sort_key), group_of
+
+
+def _bulk_quantified(expr: ast.Quantified, env: BulkEnv) -> IterSeq:
+    """Loop-lifted ``some``/``every``: expand the binding into an inner
+    loop, evaluate the satisfies clause for all bindings at once, and
+    aggregate per outer iteration (existential / universal)."""
+    binding = eval_bulk(expr.binding, env)
+    inner_loop, outer_of_inner, var_seq, _pos = expand_loop(binding,
+                                                            env.loop)
+    variables = {name: seq.relift(outer_of_inner)
+                 for name, seq in env.variables.items()}
+    variables[expr.var] = var_seq
+    focus_seq = (env.focus_seq.relift(outer_of_inner)
+                 if env.focus_seq is not None else None)
+    inner_env = BulkEnv(env.ctx, inner_loop, variables, focus_seq)
+    satisfied = eval_bulk(expr.satisfies, inner_env)
+
+    is_some = expr.quantifier == "some"
+    verdict = {it: not is_some for it in env.loop}
+    for q in inner_loop:
+        outcome = effective_boolean_value(satisfied.items_for(q))
+        outer = outer_of_inner[q]
+        if is_some:
+            verdict[outer] = verdict[outer] or outcome
+        else:
+            verdict[outer] = verdict[outer] and outcome
+    return IterSeq({it: [value] for it, value in verdict.items()})
+
+
+# ----------------------------------------------------------------------
+# function calls
+# ----------------------------------------------------------------------
+
+def _bulk_call(expr: ast.FunctionCall, env: BulkEnv) -> IterSeq:
+    local = expr.name.rpartition(":")[2]
+    if (local, len(expr.args)) in env.ctx.static.functions:
+        raise UnsupportedFeatureError(
+            f"user-defined function {expr.name} cannot be called "
+            "loop-lifted")
+    builtin = lookup_builtin(expr.name, len(expr.args))
+    if builtin is None:
+        raise XQueryStaticError(
+            f"unknown function {expr.name}#{len(expr.args)}",
+            code="err:XPST0017")
+    arg_seqs = [eval_bulk(arg, env) for arg in expr.args]
+    return _per_iter(env, arg_seqs,
+                     lambda *args: builtin(env.ctx, list(args)))
+
+
+# ----------------------------------------------------------------------
+# paths
+# ----------------------------------------------------------------------
+
+def _bulk_path(expr: ast.PathExpr, env: BulkEnv) -> IterSeq:
+    if expr.absolute:
+        if env.focus_seq is None:
+            from repro.errors import XQueryDynamicError
+
+            raise XQueryDynamicError("'/' requires a context item",
+                                     code="err:XPDY0002")
+        current = env.focus_seq.map_items(lambda n: n.root)
+    else:
+        current = None
+    for step in expr.steps:
+        current = _bulk_step(step, env, current)
+    if current is None:
+        return env.focus_seq.map_items(lambda n: n.root)
+    return current
+
+
+def _bulk_step(step, env: BulkEnv, context: IterSeq | None) -> IterSeq:
+    if isinstance(step, ast.FilterExpr):
+        if context is None:
+            base = eval_bulk(step.base, env)
+            return _bulk_predicates_whole(base, step.predicates, env)
+        raise UnsupportedFeatureError(
+            "primary expressions as non-initial path steps are not "
+            "supported loop-lifted")
+    assert isinstance(step, ast.AxisStep)
+    if context is None:
+        context = _bulk_context_item(None, env)
+    if step.is_standoff:
+        per_iter = {it: context.items_for(it) for it in env.loop
+                    if context.items_for(it)}
+        result_map = standoff_axis_step_lifted(env.ctx, step.axis,
+                                               per_iter, step.test)
+        result = IterSeq({it: nodes for it, nodes in result_map.items()
+                          if nodes})
+        return _bulk_predicates_whole(result, step.predicates, env)
+    return _bulk_standard_axis(step, env, context)
+
+
+def _bulk_standard_axis(step: ast.AxisStep, env: BulkEnv,
+                        context: IterSeq) -> IterSeq:
+    if step.axis == "descendant" and not step.predicates:
+        lifted = _try_ll_staircase(step, env, context, or_self=False)
+        if lifted is not None:
+            return lifted
+    if step.axis == "descendant-or-self" and not step.predicates:
+        lifted = _try_ll_staircase(step, env, context, or_self=True)
+        if lifted is not None:
+            return lifted
+
+    axis_fn = AXIS_FUNCTIONS[step.axis]
+    reverse = step.axis in REVERSE_AXES
+    scope = env.ctx.child_scope()
+    out: dict[int, list] = {}
+    for it in env.loop:
+        nodes = context.items_for(it)
+        if not nodes:
+            continue
+        collected: list[Node] = []
+        for node in nodes:
+            if not isinstance(node, Node):
+                raise XQueryTypeError("path steps require node items")
+            matched = [cand for cand in axis_fn(node)
+                       if matches_test(cand, step.test, step.axis)]
+            if reverse:
+                matched.sort(key=Node.sort_key, reverse=True)
+            for predicate in step.predicates:
+                matched = _filter_by_predicate(matched, predicate, scope)
+            collected.extend(matched)
+        ordered = document_order(collected)
+        if ordered:
+            out[it] = ordered
+    return IterSeq(out)
+
+
+def _try_ll_staircase(step: ast.AxisStep, env: BulkEnv,
+                      context: IterSeq, or_self: bool) -> IterSeq | None:
+    """Loop-lifted Staircase Join fast path for descendant steps.
+
+    Applies when every context node belongs to a single stored document
+    and the test is a name test or ``node()``/``text()``.  Returns None
+    to fall back to the generic DOM walk.
+    """
+    from repro.staircase.loop_lifted import ll_descendant_join
+
+    stored = None
+    rows: list[tuple[int, int]] = []
+    self_nodes: dict[int, list[Node]] = {}
+    for it in env.loop:
+        for node in context.items_for(it):
+            if not isinstance(node, Node):
+                return None
+            doc = node.document
+            if not isinstance(doc, Document):
+                return None
+            found = env.ctx.store.by_document(doc)
+            if found is None:
+                return None
+            if stored is None:
+                stored = found
+            elif stored is not found:
+                return None
+            rows.append((it, node.pre))
+            if or_self and matches_test(node, step.test, step.axis):
+                self_nodes.setdefault(it, []).append(node)
+    if stored is None:
+        return IterSeq({})
+    shredded = stored.shredded
+    test = step.test
+    if test.kind == "name":
+        candidates = (None if test.name == "*"
+                      else shredded.elements_named(test.name))
+        if test.name == "*":
+            candidates = shredded.all_element_pres()
+    elif test.kind == "node":
+        candidates = None
+    elif test.kind == "text":
+        candidates = shredded.pre[shredded.kind == Text.kind]
+    else:
+        return None
+    result = ll_descendant_join(shredded, rows, candidates)
+    doc = stored.document
+    out: dict[int, list] = {}
+    for it, pres in result.items():
+        out[it] = [doc.node_by_pre(pre) for pre in pres]
+    if or_self:
+        for it, extra in self_nodes.items():
+            merged = document_order([*out.get(it, []), *extra])
+            out[it] = merged
+    return IterSeq(out)
+
+
+def _bulk_predicates_whole(seq: IterSeq, predicates: list,
+                           env: BulkEnv) -> IterSeq:
+    """Apply predicates per iteration over the whole result sequence."""
+    if not predicates:
+        return seq
+    scope = env.ctx.child_scope()
+    out: dict[int, list] = {}
+    for it in env.loop:
+        items = seq.items_for(it)
+        for predicate in predicates:
+            if not items:
+                break
+            items = _filter_by_predicate(items, predicate, scope)
+        if items:
+            out[it] = items
+    return IterSeq(out)
+
+
+# ----------------------------------------------------------------------
+# constructors
+# ----------------------------------------------------------------------
+
+def _bulk_element_ctor(expr: ast.ElementConstructor,
+                       env: BulkEnv) -> IterSeq:
+    """Element construction stays loop-lifted: every embedded expression
+    evaluates in bulk first; elements are then assembled per iteration.
+
+    This is what keeps XMark Q2-style queries (StandOff steps inside the
+    returned constructor) on the single-scan path.
+    """
+    attr_parts: list[tuple[str, list]] = []
+    for attr in expr.attributes:
+        parts = [(part if isinstance(part, str)
+                  else eval_bulk(part, env)) for part in attr.parts]
+        attr_parts.append((attr.name, parts))
+    content_parts: list = []
+    for part in expr.content:
+        if isinstance(part, str):
+            content_parts.append(part)
+        elif isinstance(part, ast.ElementConstructor):
+            content_parts.append(_bulk_element_ctor(part, env))
+        else:
+            content_parts.append(eval_bulk(part, env))
+
+    out: dict[int, list] = {}
+    for it in env.loop:
+        element = Element(expr.name)
+        for name, parts in attr_parts:
+            chunks = []
+            for part in parts:
+                if isinstance(part, str):
+                    chunks.append(part)
+                else:
+                    values = atomize(part.items_for(it))
+                    chunks.append(" ".join(atomic_to_string(v)
+                                           for v in values))
+            element.set_attribute(name, "".join(chunks))
+        for part in content_parts:
+            if isinstance(part, str):
+                if part.strip():
+                    element.append_text(part)
+                continue
+            pending: list[str] = []
+            for value in part.items_for(it):
+                if isinstance(value, Node):
+                    if pending:
+                        element.append_text(" ".join(pending))
+                        pending = []
+                    element.append(_copy_node(value))
+                else:
+                    pending.append(atomic_to_string(value))
+            if pending:
+                element.append_text(" ".join(pending))
+        _renumber_fragment(element)
+        out[it] = [element]
+    return IterSeq(out)
+
+
+def _bulk_text_ctor(expr: ast.TextConstructor, env: BulkEnv) -> IterSeq:
+    part_seqs = [(part if isinstance(part, str) else eval_bulk(part, env))
+                 for part in expr.parts]
+    out: dict[int, list] = {}
+    for it in env.loop:
+        chunks = []
+        for part in part_seqs:
+            if isinstance(part, str):
+                chunks.append(part)
+            else:
+                values = atomize(part.items_for(it))
+                chunks.append(" ".join(atomic_to_string(v)
+                                       for v in values))
+        out[it] = [Text("".join(chunks))]
+    return IterSeq(out)
+
+
+_DISPATCH = {
+    ast.Literal: _bulk_literal,
+    ast.EmptySequence: _bulk_empty,
+    ast.VarRef: _bulk_varref,
+    ast.ContextItem: _bulk_context_item,
+    ast.Sequence: _bulk_sequence,
+    ast.UnaryOp: _bulk_unary,
+    ast.RangeExpr: _bulk_range,
+    ast.IfExpr: _bulk_if,
+    ast.Quantified: _bulk_quantified,
+    ast.BinaryOp: _bulk_binary,
+    ast.FLWOR: _bulk_flwor,
+    ast.FunctionCall: _bulk_call,
+    ast.PathExpr: _bulk_path,
+    ast.ElementConstructor: _bulk_element_ctor,
+    ast.TextConstructor: _bulk_text_ctor,
+    ast.AxisStep: lambda expr, env: _bulk_step(expr, env, None),
+    ast.FilterExpr: lambda expr, env: _bulk_step(expr, env, None),
+}

@@ -1,0 +1,218 @@
+"""Static and dynamic context for query evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.config import STANDOFF_OPTION_NAMES, StandoffConfig
+from repro.core.region_index import RegionIndex
+from repro.core.steps import Strategy
+from repro.errors import XQueryDynamicError, XQueryStaticError
+from repro.xmldb.dom import Node
+from repro.xmldb.store import DocumentStore, extract_regions
+from repro.xquery import ast
+from repro.xquery.lexer import Lexer  # noqa: F401  (re-export convenience)
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+#: An item sequence: the uniform runtime value of every expression.
+Sequence = list
+
+
+@dataclass
+class StaticContext:
+    """Per-query immutable state derived from the prolog."""
+
+    options: dict[str, str] = field(default_factory=dict)
+    namespaces: dict[str, str] = field(default_factory=dict)
+    functions: dict[tuple[str, int], ast.FunctionDecl] = field(
+        default_factory=dict)
+    standoff: StandoffConfig = field(default_factory=StandoffConfig)
+
+    @classmethod
+    def from_prolog(cls, prolog: ast.Prolog) -> "StaticContext":
+        unknown = [name for name in prolog.options
+                   if name.startswith("standoff-")
+                   and name not in STANDOFF_OPTION_NAMES]
+        if unknown:
+            raise XQueryStaticError(
+                f"unknown standoff option(s): {', '.join(sorted(unknown))}")
+        standoff_options = {
+            name: value for name, value in prolog.options.items()
+            if name in STANDOFF_OPTION_NAMES}
+        static = cls(
+            options=dict(prolog.options),
+            namespaces=dict(prolog.namespaces),
+            standoff=StandoffConfig.from_options(standoff_options),
+        )
+        for decl in prolog.functions:
+            key = (_strip_prefix(decl.name), len(decl.params))
+            if key in static.functions:
+                raise XQueryStaticError(
+                    f"function {decl.name}#{len(decl.params)} "
+                    "declared twice", code="err:XQST0034")
+            static.functions[key] = decl
+        return static
+
+
+def _strip_prefix(name: str) -> str:
+    """Function lookup ignores the namespace prefix (single-namespace
+    subset: ``fn:count`` == ``count``, ``standoff:select-narrow`` ==
+    ``select-narrow``)."""
+    return name.rpartition(":")[2]
+
+
+class Focus:
+    """The XPath focus: context item, position and size."""
+
+    __slots__ = ("item", "position", "size")
+
+    def __init__(self, item, position: int = 1, size: int = 1):
+        self.item = item
+        self.position = position
+        self.size = size
+
+
+class DynamicContext:
+    """Mutable evaluation state threaded through the evaluators."""
+
+    def __init__(self, store: DocumentStore,
+                 static: StaticContext | None = None,
+                 strategy: Strategy = Strategy.BASIC,
+                 active_structure: str = "list",
+                 blobs=None):
+        from repro.xmldb.blob import BlobStore
+
+        self.store = store
+        self.blobs = blobs if blobs is not None else BlobStore()
+        self.static = static or StaticContext()
+        self.strategy = strategy
+        self.active_structure = active_structure
+        #: name-test pushdown policy: "always" | "never" | "auto"
+        self.pushdown = "always"
+        self.variables: dict[str, Sequence] = {}
+        self.focus: Optional[Focus] = None
+        self.globals: dict[str, Sequence] = {}
+        # region indexes for fragments that are not stored documents
+        # (constructed nodes), keyed by id(root node)
+        self._transient_indexes: dict[int, RegionIndex] = {}
+        #: observability hook: number of standoff join invocations
+        #: (a shared mutable cell so child scopes count into the root)
+        self._join_counter = [0]
+
+    # -- scoping -------------------------------------------------------------
+
+    def child_scope(self) -> "DynamicContext":
+        ctx = DynamicContext.__new__(DynamicContext)
+        ctx.store = self.store
+        ctx.blobs = self.blobs
+        ctx.static = self.static
+        ctx.strategy = self.strategy
+        ctx.active_structure = self.active_structure
+        ctx.pushdown = self.pushdown
+        ctx.variables = dict(self.variables)
+        ctx.focus = self.focus
+        ctx.globals = self.globals
+        ctx._transient_indexes = self._transient_indexes
+        ctx._join_counter = self._join_counter
+        return ctx
+
+    def function_scope(self, bindings: dict[str, Sequence]
+                       ) -> "DynamicContext":
+        """A scope seeing only globals + parameters (XQuery functions)."""
+        ctx = self.child_scope()
+        ctx.variables = dict(self.globals)
+        ctx.variables.update(bindings)
+        ctx.focus = None
+        return ctx
+
+    def lookup(self, name: str) -> Sequence:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise XQueryDynamicError(
+                f"undefined variable ${name}", code="err:XPDY0002"
+            ) from None
+
+    @property
+    def standoff_join_calls(self) -> int:
+        """Number of StandOff join invocations in this query so far."""
+        return self._join_counter[0]
+
+    def count_standoff_join(self) -> None:
+        self._join_counter[0] += 1
+
+    def require_focus(self) -> Focus:
+        if self.focus is None:
+            raise XQueryDynamicError(
+                "the context item is undefined here", code="err:XPDY0002")
+        return self.focus
+
+    # -- standoff support -----------------------------------------------------
+
+    @property
+    def standoff_config(self) -> StandoffConfig:
+        return self.static.standoff
+
+    def region_index_for(self, root: Node) -> RegionIndex:
+        """The region index of the fragment rooted at *root*.
+
+        Stored documents use the store's cached index; constructed
+        fragments get a transient index built (and cached) on demand.
+        """
+        from repro.xmldb.dom import Document
+
+        if isinstance(root, Document):
+            stored = self.store.by_document(root)
+            if stored is not None:
+                return stored.region_index(self.standoff_config)
+        key = id(root)
+        index = self._transient_indexes.get(key)
+        if index is None:
+            root_doc = _TransientFragment(root)
+            index = RegionIndex.build(
+                extract_regions(root_doc, self.standoff_config))
+            self._transient_indexes[key] = index
+        return index
+
+
+class _TransientFragment:
+    """Adapter giving a bare subtree the Document-ish API that
+    :func:`~repro.xmldb.store.extract_regions` needs."""
+
+    def __init__(self, root: Node):
+        self._root = root
+
+    def renumber(self) -> None:
+        from repro.xmldb.dom import Document
+
+        if isinstance(self._root, Document):
+            self._root.renumber()
+            return
+        # Orphan subtree: number it locally so pre ranks are stable.
+        counter = 0
+
+        def walk(node: Node, level: int) -> int:
+            nonlocal counter
+            node.pre = counter
+            node.level = level
+            counter += 1
+            count = 0
+            attrs = getattr(node, "attributes", None)
+            if attrs:
+                for attr in attrs:
+                    attr.pre = counter
+                    attr.level = level + 1
+                    counter += 1
+                    count += 1
+            for child in node.children:
+                count += 1 + walk(child, level + 1)
+            node.size = count
+            return count
+
+        walk(self._root, 0)
+
+    def descendants(self):
+        return self._root.descendants_or_self()

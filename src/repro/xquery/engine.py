@@ -1,0 +1,237 @@
+"""The user-facing engine: a tiny XML database with StandOff XQuery.
+
+:class:`Database` owns a document store and runs queries under one of the
+paper's three evaluation strategies (§4.6):
+
+``udf``          StandOff steps are evaluated by the quadratic
+                 nested-loop join — the cost model of the XQuery
+                 user-defined functions of Figures 2/3.
+``basic``        StandOff steps use the Basic StandOff MergeJoin; inside
+                 a for-loop the join runs once per iteration.
+``ll``           loop-lifted execution: the whole query is evaluated in
+                 the ``iter|pos|item`` model and a StandOff step nested
+                 in a for-loop becomes a *single* Loop-Lifted StandOff
+                 MergeJoin call.
+
+Example::
+
+    db = Database()
+    db.add_document("video.xml", xml_text)
+    shots = db.query('doc("video.xml")//music[@artist="U2"]'
+                     '/select-wide::shot')
+"""
+
+from __future__ import annotations
+
+from repro.core.steps import Strategy
+from repro.errors import XQueryTypeError
+from repro.xmldb.dom import Node
+from repro.xmldb.store import DocumentStore, StoredDocument
+from repro.xquery.context import DynamicContext, Focus, StaticContext
+from repro.xquery.parser import parse
+from repro.xquery.values import atomic_to_string
+
+_STRATEGIES = {
+    "udf": Strategy.UDF,
+    "basic": Strategy.BASIC,
+    "ll": Strategy.LOOP_LIFTED,
+    "looplifted": Strategy.LOOP_LIFTED,
+}
+
+
+class QueryResult(list):
+    """An item sequence with serialization helpers."""
+
+    def serialize(self, indent: bool = False, sep: str = "\n") -> str:
+        """Serialize the sequence: nodes as XML, atomics as strings."""
+        parts = []
+        for item in self:
+            if isinstance(item, Node):
+                parts.append(item.serialize(indent=indent))
+            else:
+                parts.append(atomic_to_string(item))
+        return sep.join(parts)
+
+    def atomized(self) -> list:
+        from repro.xquery.values import atomize
+
+        return atomize(self)
+
+
+class Database:
+    """An in-memory XML database with the StandOff XQuery extensions."""
+
+    def __init__(self) -> None:
+        from repro.xmldb.blob import BlobStore
+
+        self.store = DocumentStore()
+        self.blobs = BlobStore()
+
+    # -- document management ---------------------------------------------
+
+    def add_document(self, uri: str, xml: str, *,
+                     keep_whitespace_text: bool = False) -> StoredDocument:
+        """Parse and register a document under *uri*."""
+        return self.store.add(uri, xml,
+                              keep_whitespace_text=keep_whitespace_text)
+
+    def remove_document(self, uri: str) -> None:
+        self.store.remove(uri)
+
+    def add_blob(self, uri: str, content) -> None:
+        """Register a BLOB (str or bytes) for blob-content/-substring."""
+        self.blobs.add(uri, content)
+
+    def add_document_standoff(self, uri: str, xml: str, *,
+                              blob_uri: str | None = None,
+                              permute: bool = False) -> StoredDocument:
+        """Convert an *inline* XML document to stand-off form and store it.
+
+        The text content moves to a BLOB (registered under *blob_uri*,
+        default ``uri + ".blob"``); every element receives a
+        ``start``/``end`` region into it (see
+        :func:`repro.xmark.standoffize.standoffize`).  With
+        ``permute=False`` (default) the element structure is preserved,
+        so ``select-narrow`` coincides with ``descendant`` — the
+        conversion is purely representational.
+        """
+        from repro.xmark.standoffize import standoffize
+        from repro.xmldb.parser import parse_document
+
+        source = parse_document(xml, uri=uri)
+        bundle = standoffize(source, permute=permute)
+        stored = self.store.add(uri, bundle.document)
+        self.blobs.add(blob_uri or uri + ".blob", bundle.blob)
+        return stored
+
+    def document(self, uri: str) -> StoredDocument:
+        return self.store.get(uri)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self.store
+
+    # -- querying -----------------------------------------------------------
+
+    def query(self, text: str, *, strategy: str = "basic",
+              active_structure: str = "list",
+              pushdown: str = "always",
+              context_uri: str | None = None,
+              variables: dict | None = None) -> QueryResult:
+        """Parse and evaluate a query.
+
+        :param text: the XQuery text (prolog + body).
+        :param strategy: ``udf`` | ``basic`` | ``ll`` (see module docs).
+        :param active_structure: merge-join active-items structure
+            (``list`` or ``heap``, §5 ablation).
+        :param pushdown: name-test pushdown policy for StandOff steps —
+            ``always`` (the builtin-function behaviour), ``never``
+            (post-filter) or ``auto`` (skip pushdown for non-selective
+            tests; the §3.3 (iii) optimizer choice).
+        :param context_uri: optional document whose root becomes the
+            initial context item (so relative paths like ``//a`` work
+            without ``doc(...)``).
+        :param variables: optional external variable bindings
+            (name -> item or sequence).
+        """
+        try:
+            strat = _STRATEGIES[strategy]
+        except KeyError:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{sorted(_STRATEGIES)}") from None
+        module = parse(text)
+        static = StaticContext.from_prolog(module.prolog)
+        if pushdown not in ("always", "never", "auto"):
+            raise ValueError(
+                f"unknown pushdown policy {pushdown!r}; expected "
+                "'always', 'never' or 'auto'")
+        ctx = DynamicContext(self.store, static, strat, active_structure,
+                             blobs=self.blobs)
+        ctx.pushdown = pushdown
+        if variables:
+            for name, value in variables.items():
+                ctx.variables[name] = (list(value)
+                                       if isinstance(value, (list, tuple))
+                                       else [value])
+                ctx.globals[name] = ctx.variables[name]
+        if context_uri is not None:
+            root = self.store.get(context_uri).document
+            ctx.focus = Focus(root, 1, 1)
+
+        if strat is Strategy.LOOP_LIFTED:
+            from repro.xquery.bulk import evaluate_module_bulk
+
+            return QueryResult(evaluate_module_bulk(module, ctx))
+        from repro.xquery.evaluator import evaluate_module
+
+        return QueryResult(evaluate_module(module, ctx))
+
+    # -- updates ------------------------------------------------------------
+
+    def insert_nodes(self, uri: str, parent_query: str,
+                     xml_fragment: str) -> int:
+        """Insert parsed *xml_fragment* under every node selected by
+        *parent_query* (which must select elements of document *uri*).
+
+        Returns the number of insertion points.  All derived structures
+        of the document (shredded columns, region indexes) and the
+        collection-global index are invalidated — the per-document vs
+        global maintenance trade-off of §3.3 (ii).
+        """
+        from repro.errors import XQueryTypeError
+        from repro.xmldb.dom import Element
+        from repro.xmldb.parser import parse_fragment
+
+        stored = self.store.get(uri)
+        parents = self.query(parent_query)
+        for parent in parents:
+            if not isinstance(parent, Element) \
+                    or parent.document is not stored.document:
+                raise XQueryTypeError(
+                    "insert_nodes: parent query must select elements "
+                    f"of {uri!r}")
+        for parent in parents:
+            for node in parse_fragment(xml_fragment):
+                parent.append(node)
+        if parents:
+            self.store.touch(uri)
+        return len(parents)
+
+    def delete_nodes(self, uri: str, query: str) -> int:
+        """Delete every node selected by *query* from document *uri*.
+
+        Returns the number of deleted nodes; derived structures are
+        invalidated as for :meth:`insert_nodes`.
+        """
+        from repro.errors import XQueryTypeError
+        from repro.xmldb.dom import Attr, Document, Node
+
+        stored = self.store.get(uri)
+        victims = self.query(query)
+        for node in victims:
+            if not isinstance(node, Node) or isinstance(node, Document) \
+                    or node.document is not stored.document:
+                raise XQueryTypeError(
+                    "delete_nodes: query must select non-document nodes "
+                    f"of {uri!r}")
+        deleted = 0
+        for node in victims:
+            parent = node.parent
+            if parent is None:
+                continue
+            if isinstance(node, Attr):
+                parent.attributes.remove(node)
+            else:
+                parent.children.remove(node)
+            node.parent = None
+            deleted += 1
+        if deleted:
+            self.store.touch(uri)
+        return deleted
+
+    def explain(self, text: str) -> str:
+        """Parse a query and render its AST (debugging aid)."""
+        module = parse(text)
+        import pprint
+
+        return pprint.pformat(module, width=100)

@@ -1,0 +1,224 @@
+"""Lexer for the XQuery subset.
+
+The lexer is an on-demand scanner: the parser pulls tokens lazily and can
+drop back to *raw* character scanning (needed for direct element
+constructors, which embed XML syntax that must not be tokenized as
+XQuery).  ``sync_pos()`` hands the parser the raw position of the next
+unconsumed token; ``seek()`` moves the scanner after raw consumption.
+
+Tokens are ``(type, value, pos)`` with types:
+
+``name``     QName or NCName (XQuery names may contain ``-`` and ``.``;
+             per the standard, ``a-b`` is one name — subtraction needs
+             whitespace)
+``string``   string literal (quotes stripped, XML entities expanded,
+             doubled quotes unescaped)
+``integer`` / ``decimal`` / ``double``  numeric literals
+``symbol``   operators and punctuation
+``eof``      end of input
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQuerySyntaxError
+from repro.xmldb.escape import unescape
+
+_SYMBOLS_3 = ()
+_SYMBOLS_2 = ("//", "::", "..", ":=", "<=", ">=", "!=", "<<", ">>")
+_SYMBOLS_1 = tuple("()[]{},;$@/:.*+-=<>|?")
+
+_WS = " \t\r\n"
+
+_NAME_START_EXTRA = "_"
+_NAME_EXTRA = "_-."
+
+
+class Token:
+    __slots__ = ("type", "value", "pos")
+
+    def __init__(self, type_: str, value: str, pos: int):
+        self.type = type_
+        self.value = value
+        self.pos = pos
+
+    def is_symbol(self, *values: str) -> bool:
+        return self.type == "symbol" and self.value in values
+
+    def is_name(self, *values: str) -> bool:
+        return self.type == "name" and (not values or self.value in values)
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r})"
+
+
+class Lexer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.n = len(text)
+        self._buffer: list[Token] = []
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def line_col(self, pos: int) -> tuple[int, int]:
+        line = self.text.count("\n", 0, pos) + 1
+        last_nl = self.text.rfind("\n", 0, pos)
+        return line, pos - last_nl
+
+    def error(self, message: str, pos: int | None = None) -> XQuerySyntaxError:
+        pos = self.pos if pos is None else pos
+        line, col = self.line_col(pos)
+        return XQuerySyntaxError(message, line, col)
+
+    # -- raw-mode support ------------------------------------------------------
+
+    def sync_pos(self) -> int:
+        """Raw position of the next unconsumed token (buffer discarded)."""
+        if self._buffer:
+            pos = self._buffer[0].pos
+            self._buffer.clear()
+            self.pos = pos
+        return self.pos
+
+    def seek(self, pos: int) -> None:
+        """Resume token scanning at raw position *pos*."""
+        self._buffer.clear()
+        self.pos = pos
+
+    # -- token access ------------------------------------------------------------
+
+    def peek(self, k: int = 0) -> Token:
+        while len(self._buffer) <= k:
+            self._buffer.append(self._scan())
+        return self._buffer[k]
+
+    def next(self) -> Token:
+        if self._buffer:
+            return self._buffer.pop(0)
+        return self._scan()
+
+    # -- scanning -----------------------------------------------------------------
+
+    def _skip_ws_and_comments(self) -> None:
+        while self.pos < self.n:
+            ch = self.text[self.pos]
+            if ch in _WS:
+                self.pos += 1
+            elif self.text.startswith("(:", self.pos):
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        start = self.pos
+        depth = 0
+        while self.pos < self.n:
+            if self.text.startswith("(:", self.pos):
+                depth += 1
+                self.pos += 2
+            elif self.text.startswith(":)", self.pos):
+                depth -= 1
+                self.pos += 2
+                if depth == 0:
+                    return
+            else:
+                self.pos += 1
+        raise self.error("unterminated comment", start)
+
+    def _scan(self) -> Token:
+        self._skip_ws_and_comments()
+        if self.pos >= self.n:
+            return Token("eof", "", self.pos)
+        start = self.pos
+        ch = self.text[start]
+
+        if ch in "\"'":
+            return self._scan_string(ch)
+        if ch.isdigit() or (ch == "." and start + 1 < self.n
+                            and self.text[start + 1].isdigit()):
+            return self._scan_number()
+        if ch.isalpha() or ch in _NAME_START_EXTRA:
+            return self._scan_name()
+        for sym in _SYMBOLS_2:
+            if self.text.startswith(sym, start):
+                # '..' must not eat the start of '..' inside a number --
+                # numbers were handled above, safe here.
+                self.pos += 2
+                return Token("symbol", sym, start)
+        if ch in _SYMBOLS_1:
+            self.pos += 1
+            return Token("symbol", ch, start)
+        raise self.error(f"unexpected character {ch!r}")
+
+    def _scan_string(self, quote: str) -> Token:
+        start = self.pos
+        self.pos += 1
+        parts: list[str] = []
+        while True:
+            idx = self.text.find(quote, self.pos)
+            if idx == -1:
+                raise self.error("unterminated string literal", start)
+            parts.append(self.text[self.pos:idx])
+            self.pos = idx + 1
+            if self.pos < self.n and self.text[self.pos] == quote:
+                parts.append(quote)     # doubled quote escape
+                self.pos += 1
+            else:
+                break
+        line, col = self.line_col(start)
+        try:
+            value = unescape("".join(parts), line, col)
+        except Exception:
+            raise self.error("bad entity reference in string literal",
+                             start) from None
+        return Token("string", value, start)
+
+    def _scan_number(self) -> Token:
+        start = self.pos
+        while self.pos < self.n and self.text[self.pos].isdigit():
+            self.pos += 1
+        kind = "integer"
+        if self.pos < self.n and self.text[self.pos] == "." and not \
+                self.text.startswith("..", self.pos):
+            kind = "decimal"
+            self.pos += 1
+            while self.pos < self.n and self.text[self.pos].isdigit():
+                self.pos += 1
+        if self.pos < self.n and self.text[self.pos] in "eE":
+            probe = self.pos + 1
+            if probe < self.n and self.text[probe] in "+-":
+                probe += 1
+            if probe < self.n and self.text[probe].isdigit():
+                kind = "double"
+                self.pos = probe
+                while self.pos < self.n and self.text[self.pos].isdigit():
+                    self.pos += 1
+        return Token(kind, self.text[start:self.pos], start)
+
+    def _scan_name(self) -> Token:
+        start = self.pos
+        text, n = self.text, self.n
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch.isalnum() or ch in _NAME_EXTRA:
+                self.pos += 1
+            else:
+                break
+        name = text[start:self.pos]
+        # QName: allow one prefix colon when directly followed by a name
+        # start character -- but not '::' (axis) or ':=' (let).
+        if (self.pos < n and text[self.pos] == ":"
+                and self.pos + 1 < n
+                and (text[self.pos + 1].isalpha()
+                     or text[self.pos + 1] in _NAME_START_EXTRA)
+                and not text.startswith("::", self.pos)):
+            self.pos += 1
+            local_start = self.pos
+            while self.pos < n:
+                ch = text[self.pos]
+                if ch.isalnum() or ch in _NAME_EXTRA:
+                    self.pos += 1
+                else:
+                    break
+            name = f"{name}:{text[local_start:self.pos]}"
+        return Token("name", name, start)

@@ -1,0 +1,235 @@
+"""Bridge between the XQuery evaluators and the StandOff join machinery.
+
+Takes DOM context nodes, partitions them per XML fragment (§4.4), derives
+the candidate sequence from the step's name test via the element index
+(selection pushdown, §4.3), runs the configured join strategy, and maps
+the resulting node ids back to DOM nodes in document order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.naive import StandoffOp
+from repro.core.steps import Strategy, standoff_step
+from repro.errors import XQueryTypeError
+from repro.xmldb.dom import Document, Element, Node
+from repro.xquery.ast import NodeTest
+from repro.xquery.context import DynamicContext
+
+
+def _fragment_root(node: Node) -> Node:
+    return node.root
+
+
+class _FragmentInfo:
+    """Resolves pre ranks <-> DOM nodes for one fragment root."""
+
+    def __init__(self, root: Node, ctx: DynamicContext):
+        self.root = root
+        self.ctx = ctx
+        self._by_pre: dict[int, Node] | None = None
+
+    def node_by_pre(self, pre: int) -> Node:
+        if isinstance(self.root, Document):
+            return self.root.node_by_pre(pre)
+        if self._by_pre is None:
+            mapping: dict[int, Node] = {}
+            for node in self.root.descendants_or_self():
+                mapping[node.pre] = node
+                if isinstance(node, Element):
+                    for attr in node.attributes:
+                        mapping[attr.pre] = attr
+            self._by_pre = mapping
+        return self._by_pre[pre]
+
+    def elements_named(self, name: str) -> np.ndarray:
+        if isinstance(self.root, Document):
+            stored = self.ctx.store.by_document(self.root)
+            if stored is not None:
+                return stored.shredded.elements_named(name)
+        pres = [node.pre for node in self.root.descendants_or_self()
+                if isinstance(node, Element) and node.tag == name]
+        return np.asarray(pres, dtype=np.int64)
+
+    def sort_rank(self):
+        if isinstance(self.root, Document):
+            return (0, self.root.doc_id)
+        return (1, id(self.root))
+
+
+#: Fraction of the region index above which the ``auto`` pushdown policy
+#: prefers post-filtering (§3.3 (iii): "the usual handling of builtin
+#: functions enforces selection pushdown, which for non-selective
+#: predicates may lead to counter-productive evaluation").
+AUTO_PUSHDOWN_THRESHOLD = 0.5
+
+
+def _candidate_ids_for_test(ctx: DynamicContext, info: _FragmentInfo,
+                            test: NodeTest | None) -> np.ndarray | None:
+    """Pushed-down candidate ids, or None for 'whole region index'.
+
+    A name test uses the element index; ``*`` and ``node()`` place no
+    restriction.  Non-element kind tests cannot match area-annotations
+    (only elements carry regions), so they yield an empty candidate set.
+
+    The context's ``pushdown`` policy decides whether a name test is
+    pushed into the join (index intersection) or applied afterwards to
+    the join result — the optimizer choice the paper argues XPath-step
+    semantics enables (§3.3 (iii)).
+    """
+    if test is None or test.kind == "node":
+        return None
+    if test.kind == "name":
+        if test.name == "*":
+            return None
+        policy = getattr(ctx, "pushdown", "always")
+        if policy == "never":
+            return None
+        named = info.elements_named(test.name)
+        if policy == "auto":
+            index_size = len(ctx.region_index_for(info.root))
+            if index_size and len(named) > AUTO_PUSHDOWN_THRESHOLD \
+                    * index_size:
+                return None
+        return named
+    return np.empty(0, dtype=np.int64)
+
+
+def _run(ctx: DynamicContext, op: StandoffOp,
+         context_by_fragment: dict[int, tuple[_FragmentInfo, list[int]]],
+         candidates_by_fragment: dict[int, np.ndarray | None],
+         iter_rows: list[tuple[int, int, int]],
+         ) -> dict[int, list[Node]]:
+    """Execute one StandOff step; returns per-iteration DOM node lists."""
+    indexes = {}
+    for key, (info, _pres) in context_by_fragment.items():
+        indexes[key] = ctx.region_index_for(info.root)
+    candidate_map = None
+    if any(cand is not None for cand in candidates_by_fragment.values()):
+        candidate_map = {
+            key: (cand if cand is not None
+                  else indexes[key].annotated_ids())
+            for key, cand in candidates_by_fragment.items()}
+    strategy = ctx.strategy
+    if strategy is Strategy.LOOP_LIFTED and \
+            len({it for it, _f, _n in iter_rows}) <= 1:
+        # A single iteration: basic and loop-lifted coincide; use the
+        # basic code path (the tree-walking evaluator's situation).
+        strategy = Strategy.BASIC
+    ctx.count_standoff_join()
+    raw = standoff_step(op, iter_rows, indexes,
+                        candidate_map,
+                        strategy=strategy,
+                        active_structure=ctx.active_structure)
+    ordered_fragments = sorted(
+        context_by_fragment,
+        key=lambda key: context_by_fragment[key][0].sort_rank())
+    frag_order = {key: rank for rank, key in enumerate(ordered_fragments)}
+    out: dict[int, list[Node]] = {}
+    for iteration, pairs in raw.items():
+        pairs = sorted(pairs, key=lambda p: (frag_order[p[0]], p[1]))
+        nodes = [context_by_fragment[frag][0].node_by_pre(pre)
+                 for frag, pre in pairs]
+        out[iteration] = nodes
+    return out
+
+
+def _prepare(ctx: DynamicContext,
+             context_nodes_per_iter: dict[int, list[Node]],
+             test: NodeTest | None,
+             explicit_candidates: list[Node] | None):
+    """Build fragment partitions and iter rows for :func:`_run`."""
+    infos: dict[int, _FragmentInfo] = {}
+    context_by_fragment: dict[int, tuple[_FragmentInfo, list[int]]] = {}
+    iter_rows: list[tuple[int, int, int]] = []
+    for iteration, nodes in context_nodes_per_iter.items():
+        for node in nodes:
+            if not isinstance(node, Node):
+                raise XQueryTypeError(
+                    "StandOff steps require node context items")
+            root = _fragment_root(node)
+            key = id(root)
+            if key not in infos:
+                info = _FragmentInfo(root, ctx)
+                if not isinstance(root, Document):
+                    # Number orphan fragments so pre ranks exist.
+                    ctx.region_index_for(root)
+                infos[key] = info
+                context_by_fragment[key] = (info, [])
+            context_by_fragment[key][1].append(node.pre)
+            iter_rows.append((iteration, key, node.pre))
+
+    candidates_by_fragment: dict[int, np.ndarray | None] = {}
+    if explicit_candidates is not None:
+        grouped: dict[int, list[int]] = {key: [] for key in infos}
+        for node in explicit_candidates:
+            root = _fragment_root(node)
+            key = id(root)
+            if key in grouped:
+                grouped[key].append(node.pre)
+        candidates_by_fragment = {
+            key: np.asarray(sorted(set(pres)), dtype=np.int64)
+            for key, pres in grouped.items()}
+    else:
+        for key, info in infos.items():
+            candidates_by_fragment[key] = _candidate_ids_for_test(
+                ctx, info, test)
+    return context_by_fragment, candidates_by_fragment, iter_rows
+
+
+def standoff_axis_step(ctx: DynamicContext, axis: str,
+                       context_nodes: list[Node],
+                       test: NodeTest) -> list[Node]:
+    """Evaluate a StandOff axis step for one context sequence (§3.3).
+
+    The join is computed between the whole context sequence (S1) and the
+    candidate sequence derived from the node test (S2) — StandOff steps
+    are sequence-level joins, not per-node mappings (this matters for the
+    reject anti-joins).
+    """
+    if not context_nodes:
+        return []
+    op = StandoffOp.from_name(axis)
+    parts = _prepare(ctx, {0: context_nodes}, test, None)
+    result = _run(ctx, op, parts[0], parts[1], parts[2])
+    return _apply_test(result.get(0, []), test)
+
+
+def standoff_axis_step_lifted(ctx: DynamicContext, axis: str,
+                              context_nodes_per_iter: dict[int, list[Node]],
+                              test: NodeTest) -> dict[int, list[Node]]:
+    """Loop-lifted StandOff axis step: all iterations in one join call."""
+    if not context_nodes_per_iter:
+        return {}
+    op = StandoffOp.from_name(axis)
+    parts = _prepare(ctx, context_nodes_per_iter, test, None)
+    result = _run(ctx, op, parts[0], parts[1], parts[2])
+    return {it: _apply_test(nodes, test) for it, nodes in result.items()}
+
+
+def _apply_test(nodes: list[Node], test: NodeTest | None) -> list[Node]:
+    """Post-filter by the step's node test.
+
+    Redundant when the test was pushed down into the candidate sequence
+    (every survivor already matches); required when the pushdown policy
+    chose to run the join over the whole region index.
+    """
+    if test is None or test.kind == "node" \
+            or (test.kind == "name" and test.name == "*"):
+        return nodes
+    from repro.xquery.axes import matches_test
+
+    return [node for node in nodes if matches_test(node, test)]
+
+
+def standoff_function(ctx: DynamicContext, op_name: str,
+                      context_nodes: list[Node],
+                      candidates: list[Node] | None) -> list[Node]:
+    """The builtin-function form (Alternative 3 of §3.2)."""
+    if not context_nodes:
+        return []
+    op = StandoffOp.from_name(op_name)
+    parts = _prepare(ctx, {0: context_nodes}, None, candidates)
+    result = _run(ctx, op, parts[0], parts[1], parts[2])
+    return result.get(0, [])

@@ -1,0 +1,215 @@
+"""Value model: atomization, effective boolean value, comparisons, casts.
+
+Items are DOM nodes or Python atomics (``str``, ``bool``, ``int``,
+``float``).  Strings obtained by atomizing nodes behave as
+``xs:untypedAtomic``: they cast to numbers when compared or combined with
+numeric operands, per the XQuery general-comparison rules.  The subset
+does not track a separate untyped type for literal strings; every string
+participates in untyped coercion (documented deviation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import XQueryDynamicError, XQueryTypeError
+from repro.xmldb.dom import Node
+
+Item = object
+Sequence = list
+
+
+def is_node(item: Item) -> bool:
+    return isinstance(item, Node)
+
+
+def atomize_item(item: Item):
+    """The typed value of one item (string value for nodes)."""
+    if isinstance(item, Node):
+        return item.string_value()
+    return item
+
+
+def atomize(seq: Iterable[Item]) -> list:
+    return [atomize_item(item) for item in seq]
+
+
+def atomize_single(seq: Sequence, what: str = "operand"):
+    """Atomize a sequence required to be a singleton (or empty -> None)."""
+    values = atomize(seq)
+    if not values:
+        return None
+    if len(values) > 1:
+        raise XQueryTypeError(
+            f"{what} must be a single item, got {len(values)}")
+    return values[0]
+
+
+def effective_boolean_value(seq: Sequence) -> bool:
+    """The XPath effective boolean value (fn:boolean rules)."""
+    if not seq:
+        return False
+    first = seq[0]
+    if isinstance(first, Node):
+        return True
+    if len(seq) > 1:
+        raise XQueryTypeError(
+            "effective boolean value of a multi-item atomic sequence")
+    if isinstance(first, bool):
+        return first
+    if isinstance(first, str):
+        return len(first) > 0
+    if isinstance(first, (int, float)):
+        return first != 0 and not (isinstance(first, float)
+                                   and math.isnan(first))
+    raise XQueryTypeError(
+        f"no effective boolean value for {type(first).__name__}")
+
+
+def to_number(value) -> float:
+    """Cast an atomic value to xs:double (fn:number semantics, strict)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            raise XQueryDynamicError(
+                f"cannot cast {value!r} to a number",
+                code="err:FORG0001") from None
+    raise XQueryTypeError(f"cannot cast {type(value).__name__} to a number")
+
+
+def string_value(seq: Sequence) -> str:
+    """fn:string of a zero-or-one sequence."""
+    if not seq:
+        return ""
+    if len(seq) > 1:
+        raise XQueryTypeError("fn:string requires zero or one item")
+    item = seq[0]
+    if isinstance(item, Node):
+        return item.string_value()
+    return atomic_to_string(item)
+
+
+def atomic_to_string(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15 \
+                and not math.isinf(value):
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+_NUMERIC = (int, float)
+
+
+def _coerce_pair(a, b):
+    """Untyped coercion for general comparisons: str vs number -> number."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a, b
+    if isinstance(a, _NUMERIC) and isinstance(b, str):
+        return a, to_number(b)
+    if isinstance(a, str) and isinstance(b, _NUMERIC):
+        return to_number(a), b
+    return a, b
+
+
+_OP_TABLE = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_VALUE_OPS = {"eq": "=", "ne": "!=", "lt": "<", "le": "<=",
+              "gt": ">", "ge": ">="}
+
+
+def compare_atomic(a, b, op: str) -> bool:
+    a, b = _coerce_pair(a, b)
+    if isinstance(a, bool) != isinstance(b, bool):
+        raise XQueryTypeError(
+            f"cannot compare {type(a).__name__} with {type(b).__name__}")
+    if isinstance(a, str) != isinstance(b, str):
+        raise XQueryTypeError(
+            f"cannot compare {type(a).__name__} with {type(b).__name__}")
+    return _OP_TABLE[op](a, b)
+
+
+def general_compare(left: Sequence, right: Sequence, op: str) -> bool:
+    """Existentially quantified comparison over atomized operands."""
+    lhs = atomize(left)
+    rhs = atomize(right)
+    return any(compare_atomic(a, b, op) for a in lhs for b in rhs)
+
+
+def value_compare(left: Sequence, right: Sequence, op: str) -> Sequence:
+    """Singleton comparison; empty operand propagates emptiness."""
+    a = atomize_single(left, f"left operand of '{op}'")
+    b = atomize_single(right, f"right operand of '{op}'")
+    if a is None or b is None:
+        return []
+    return [compare_atomic(a, b, _VALUE_OPS[op])]
+
+
+def arithmetic(left: Sequence, right: Sequence, op: str) -> Sequence:
+    """Binary arithmetic with untyped coercion; empty propagates."""
+    a = atomize_single(left, f"left operand of '{op}'")
+    b = atomize_single(right, f"right operand of '{op}'")
+    if a is None or b is None:
+        return []
+    x, y = to_number(a), to_number(b)
+    if isinstance(a, int) and isinstance(b, int) \
+            and not isinstance(a, bool) and not isinstance(b, bool):
+        xi, yi = int(a), int(b)
+        if op == "+":
+            return [xi + yi]
+        if op == "-":
+            return [xi - yi]
+        if op == "*":
+            return [xi * yi]
+        if op == "idiv":
+            _check_zero(yi, op)
+            return [_int_div(xi, yi)]
+        if op == "mod":
+            _check_zero(yi, op)
+            return [xi - _int_div(xi, yi) * yi]
+        # 'div' on integers yields a decimal (float here)
+        _check_zero(yi, op)
+        return [xi / yi]
+    if op == "+":
+        return [x + y]
+    if op == "-":
+        return [x - y]
+    if op == "*":
+        return [x * y]
+    if op == "div":
+        _check_zero(y, op)
+        return [x / y]
+    if op == "idiv":
+        _check_zero(y, op)
+        return [_int_div(x, y)]
+    if op == "mod":
+        _check_zero(y, op)
+        return [math.fmod(x, y)]
+    raise XQueryTypeError(f"unknown arithmetic operator {op!r}")
+
+
+def _int_div(x, y) -> int:
+    """xs:integer division truncating toward zero (not floor)."""
+    q = x / y
+    return int(q) if q >= 0 else -int(-q)
+
+
+def _check_zero(y, op: str) -> None:
+    if y == 0:
+        raise XQueryDynamicError(f"{op}: division by zero",
+                                 code="err:FOAR0001")

@@ -1,0 +1,176 @@
+"""DOM axis functions against brute-force oracles (hypothesis-driven)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmldb import Element, parse_document
+from repro.xquery.ast import NodeTest
+from repro.xquery.axes import (
+    AXIS_FUNCTIONS,
+    REVERSE_AXES,
+    axis_following,
+    axis_preceding,
+    matches_test,
+)
+
+DOC = parse_document(
+    "<r><a><b1/><b2><c/></b2><b3/></a><d><e/>text</d></r>")
+
+
+def by_tag(tag):
+    return next(n for n in DOC.descendants()
+                if getattr(n, "tag", None) == tag)
+
+
+class TestAxesOnFixedTree:
+    def test_child(self):
+        a = by_tag("a")
+        assert [n.tag for n in AXIS_FUNCTIONS["child"](a)] == \
+            ["b1", "b2", "b3"]
+
+    def test_descendant(self):
+        a = by_tag("a")
+        tags = [getattr(n, "tag", "#text")
+                for n in AXIS_FUNCTIONS["descendant"](a)]
+        assert tags == ["b1", "b2", "c", "b3"]
+
+    def test_parent_and_ancestors(self):
+        c = by_tag("c")
+        assert [n.tag for n in AXIS_FUNCTIONS["parent"](c)] == ["b2"]
+        anc = list(AXIS_FUNCTIONS["ancestor"](c))
+        assert [getattr(n, "tag", "#doc") for n in anc] == \
+            ["b2", "a", "r", "#doc"]
+
+    def test_siblings(self):
+        b2 = by_tag("b2")
+        assert [n.tag for n in
+                AXIS_FUNCTIONS["following-sibling"](b2)] == ["b3"]
+        assert [n.tag for n in
+                AXIS_FUNCTIONS["preceding-sibling"](b2)] == ["b1"]
+
+    def test_following(self):
+        b2 = by_tag("b2")
+        tags = [getattr(n, "tag", "#text") for n in axis_following(b2)]
+        assert tags == ["b3", "d", "e", "#text"]
+
+    def test_preceding(self):
+        d = by_tag("d")
+        tags = [getattr(n, "tag", "#text") for n in axis_preceding(d)]
+        # reverse document order, ancestors excluded
+        assert tags == ["b3", "c", "b2", "b1", "a"]
+
+    def test_attribute_axis(self):
+        doc = parse_document('<x p="1" q="2"/>')
+        attrs = list(AXIS_FUNCTIONS["attribute"](doc.root_element))
+        assert [a.name for a in attrs] == ["p", "q"]
+
+    def test_self(self):
+        a = by_tag("a")
+        assert list(AXIS_FUNCTIONS["self"](a)) == [a]
+
+
+class TestNodeTests:
+    def test_name_test_elements_only(self):
+        doc = parse_document("<a>text</a>")
+        el = doc.root_element
+        text = el.children[0]
+        test = NodeTest("name", "a")
+        assert matches_test(el, test)
+        assert not matches_test(text, test)
+
+    def test_wildcard(self):
+        doc = parse_document("<a><b/></a>")
+        assert matches_test(doc.root_element, NodeTest("name", "*"))
+
+    def test_kind_tests(self):
+        doc = parse_document("<a>t<!--c--><?p d?></a>")
+        text, comment, pi = doc.root_element.children
+        assert matches_test(text, NodeTest("text"))
+        assert not matches_test(text, NodeTest("comment"))
+        assert matches_test(comment, NodeTest("comment"))
+        assert matches_test(pi, NodeTest("processing-instruction"))
+        for node in (text, comment, pi):
+            assert matches_test(node, NodeTest("node"))
+
+    def test_attribute_axis_principal_kind(self):
+        doc = parse_document('<a x="1"/>')
+        attr = doc.root_element.attribute_node("x")
+        assert matches_test(attr, NodeTest("name", "x"), axis="attribute")
+        assert not matches_test(attr, NodeTest("name", "x"), axis="child")
+
+    def test_prefixed_name_matches_local(self):
+        doc = parse_document('<ns:a xmlns:ns="u"/>')
+        el = doc.root_element
+        assert matches_test(el, NodeTest("name", "ns:a"))
+        assert matches_test(el, NodeTest("name", "a"))
+
+
+# property tests: axes partition / invert correctly
+
+trees = st.lists(st.integers(0, 8), min_size=0, max_size=30).map(
+    lambda shape: parse_document(_tree_xml(shape)))
+
+
+def _tree_xml(shape):
+    parts = ["<r>"]
+    depth = 0
+    for n in shape:
+        if n % 3 == 0 and depth > 0:
+            parts.append("</n>")
+            depth -= 1
+        else:
+            parts.append("<n>")
+            depth += 1
+    parts.extend("</n>" * depth)
+    parts.append("</r>")
+    return "".join(parts)
+
+
+@given(trees)
+@settings(max_examples=40, deadline=None)
+def test_descendant_inverse_of_ancestor(doc):
+    nodes = [n for n in doc.descendants() if isinstance(n, Element)]
+    for node in nodes[:10]:
+        for desc in AXIS_FUNCTIONS["descendant"](node):
+            assert node in list(AXIS_FUNCTIONS["ancestor"](desc))
+
+
+@given(trees)
+@settings(max_examples=40, deadline=None)
+def test_following_preceding_self_ancestors_descendants_partition(doc):
+    everything = [n for n in doc.root_element.descendants_or_self()]
+    for node in everything[:6]:
+        following = set(map(id, axis_following(node)))
+        preceding = set(map(id, axis_preceding(node)))
+        ancestors = set(map(id, AXIS_FUNCTIONS["ancestor"](node)))
+        descendants = set(map(id, AXIS_FUNCTIONS["descendant"](node)))
+        ancestors.discard(id(doc))
+        union = following | preceding | ancestors | descendants | {id(node)}
+        scope = set(map(id, doc.root_element.descendants_or_self()))
+        assert union == scope
+        # pairwise disjoint
+        groups = [following, preceding, ancestors, descendants, {id(node)}]
+        for i, g1 in enumerate(groups):
+            for g2 in groups[i + 1:]:
+                assert not (g1 & g2)
+
+
+@given(trees)
+@settings(max_examples=40, deadline=None)
+def test_forward_axes_in_document_order(doc):
+    for axis in ("child", "descendant", "following-sibling", "following"):
+        for node in list(doc.descendants())[:6]:
+            result = list(AXIS_FUNCTIONS[axis](node))
+            pres = [n.pre for n in result]
+            assert pres == sorted(pres), axis
+
+
+@given(trees)
+@settings(max_examples=40, deadline=None)
+def test_reverse_axes_reversed(doc):
+    for axis in sorted(REVERSE_AXES):
+        for node in list(doc.descendants())[:6]:
+            result = list(AXIS_FUNCTIONS[axis](node))
+            pres = [n.pre for n in result]
+            assert pres == sorted(pres, reverse=True), axis

@@ -1,0 +1,162 @@
+"""Tests for BLOB storage and the extension builtins."""
+
+import pytest
+
+from repro.core import Area, Region
+from repro.errors import (
+    RegionError,
+    ReproError,
+    XQueryDynamicError,
+    XQueryTypeError,
+)
+from repro.xmldb.blob import Blob, BlobStore
+from repro.xquery import Database
+
+TEXT = "The quick brown fox jumps over the lazy dog"
+#       0123456789...
+
+
+class TestBlob:
+    def test_slice_inclusive(self):
+        blob = Blob("t", TEXT)
+        assert blob.slice(Region(4, 8)) == "quick"
+
+    def test_slice_out_of_range(self):
+        blob = Blob("t", TEXT)
+        with pytest.raises(RegionError):
+            blob.slice(Region(0, len(TEXT)))
+        with pytest.raises(RegionError):
+            blob.slice(Region(-1, 3))
+
+    def test_extract_multi_region(self):
+        blob = Blob("t", TEXT)
+        area = Area([Region(4, 8), Region(16, 18)])
+        assert blob.extract(area) == "quickfox"
+        assert blob.extract(area, separator="...") == "quick...fox"
+
+    def test_binary_blob(self):
+        blob = Blob("bin", bytes(range(256)))
+        assert blob.slice(Region(10, 12)) == bytes([10, 11, 12])
+        assert blob.is_binary
+
+    def test_covered_fraction(self):
+        blob = Blob("t", "0123456789")
+        areas = [Area.of(0, 4), Area.of(3, 4)]   # overlap merged
+        assert blob.covered_fraction(iter(areas)) == 0.5
+        assert blob.covered_fraction(iter([])) == 0.0
+
+
+class TestBlobStore:
+    def test_add_get_remove(self):
+        store = BlobStore()
+        store.add("a", "xyz")
+        assert "a" in store
+        assert store.get("a").content == "xyz"
+        store.remove("a")
+        assert "a" not in store
+
+    def test_duplicate_rejected(self):
+        store = BlobStore()
+        store.add("a", "x")
+        with pytest.raises(ReproError):
+            store.add("a", "y")
+
+    def test_missing_raises(self):
+        store = BlobStore()
+        with pytest.raises(ReproError):
+            store.get("missing")
+        with pytest.raises(ReproError):
+            store.remove("missing")
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.add_blob("text.txt", TEXT)
+    database.add_document("ann.xml", """
+        <d>
+          <w id="quick" start="4" end="8"/>
+          <w id="fox"   start="16" end="18"/>
+          <phrase id="qbf" start="4" end="18"/>
+        </d>""")
+    return database
+
+
+class TestBlobBuiltins:
+    def test_blob_content(self, db):
+        result = db.query(
+            'blob-content("text.txt", (doc("ann.xml")//w)[1])')
+        assert result == ["quick"]
+
+    def test_blob_content_in_flwor(self, db):
+        result = db.query('for $w in doc("ann.xml")//w '
+                          'return blob-content("text.txt", $w)')
+        assert result == ["quick", "fox"]
+
+    def test_blob_content_multi_region(self):
+        database = Database()
+        database.add_blob("b", TEXT)
+        database.add_document("a.xml", """
+            <d><pick id="p">
+              <region><start>4</start><end>8</end></region>
+              <region><start>16</start><end>18</end></region>
+            </pick></d>""")
+        result = database.query(
+            'declare option standoff-region "region"\n'
+            'blob-content("b", doc("a.xml")//pick)')
+        assert result == ["quickfox"]
+
+    def test_blob_substring(self, db):
+        assert db.query('blob-substring("text.txt", 0, 2)') == ["The"]
+
+    def test_blob_length(self, db):
+        assert db.query('blob-length("text.txt")') == [len(TEXT)]
+
+    def test_content_of_unannotated_node_raises(self, db):
+        with pytest.raises(XQueryDynamicError):
+            db.query('blob-content("text.txt", doc("ann.xml")/d)')
+
+    def test_missing_blob_raises(self, db):
+        with pytest.raises(ReproError):
+            db.query('blob-content("nope", (doc("ann.xml")//w)[1])')
+
+
+class TestRegionPredicateBuiltins:
+    def test_region_relation(self, db):
+        assert db.query(
+            'region-relation((doc("ann.xml")//w)[1], '
+            '(doc("ann.xml")//w)[2])') == ["before"]
+        assert db.query(
+            'region-relation(doc("ann.xml")//phrase, '
+            '(doc("ann.xml")//w)[1])') == ["started-by"]
+
+    def test_standoff_contains(self, db):
+        assert db.query(
+            'standoff-contains(doc("ann.xml")//phrase, '
+            '(doc("ann.xml")//w)[2])') == [True]
+        assert db.query(
+            'standoff-contains((doc("ann.xml")//w)[2], '
+            'doc("ann.xml")//phrase)') == [False]
+
+    def test_standoff_overlaps(self, db):
+        assert db.query(
+            'standoff-overlaps(doc("ann.xml")//phrase, '
+            '(doc("ann.xml")//w)[1])') == [True]
+        assert db.query(
+            'standoff-overlaps((doc("ann.xml")//w)[1], '
+            '(doc("ann.xml")//w)[2])') == [False]
+
+    def test_predicate_in_where_clause(self, db):
+        result = db.query("""
+            for $w in doc("ann.xml")//w
+            where standoff-contains(doc("ann.xml")//phrase, $w)
+            return $w/@id
+        """)
+        assert result.atomized() == ["quick", "fox"]
+
+    def test_regions_function(self, db):
+        assert db.query('regions((doc("ann.xml")//w)[1])') == [4, 8]
+
+    def test_requires_single_node(self, db):
+        with pytest.raises(XQueryTypeError):
+            db.query('regions(doc("ann.xml")//w)')

@@ -1,0 +1,56 @@
+"""Integration: every example script runs clean and prints what its
+docstring promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=180)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run("quickstart.py")
+    assert "-> Intro" in out
+    assert "-> Intro, Interview" in out
+    assert "-> Interview, Outro" in out
+    assert "-> Outro" in out
+    assert 'shots="2"' in out
+
+
+def test_forensics():
+    out = run("forensics.py")
+    assert "offshore, invoice, account" in out
+    assert "transfer" in out                    # unallocated-space hit
+    assert "f-ledger.xls" in out
+    assert 'fragments="2"' in out               # non-contiguous area
+
+
+def test_nlp_corpus():
+    out = run("nlp_corpus.py")
+    assert 'entity="last June"' in out          # the straddler
+    assert "tokens outside all entities" in out
+
+
+def test_genomics():
+    out = run("genomics.py")
+    assert "exons inside genes: ['A1', 'A2', 'A3', 'B1', 'B2']" in out
+    assert "['r4']" in out                      # intergenic read
+    assert "['r7']" in out                      # intronic read
+    assert "GC content" in out
+
+
+def test_xmark_standoff():
+    out = run("xmark_standoff.py", "0.05")
+    assert "identical results" in out
+    for qid in ("q1", "q2", "q6", "q7"):
+        assert qid in out

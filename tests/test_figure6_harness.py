@@ -1,0 +1,44 @@
+"""End-to-end test of the Figure 6 harness at a tiny scale."""
+
+import math
+
+from repro.bench import DNF
+from repro.bench.figure6 import (
+    Figure6Config,
+    build_database,
+    run_figure6,
+    STRATEGY_LABELS,
+)
+
+
+class TestRunFigure6:
+    def test_tiny_sweep(self):
+        config = Figure6Config(scales=(0.05,), queries=("q1", "q6"),
+                               strategies=("basic", "ll"),
+                               budget_seconds=60.0)
+        result = run_figure6(config)
+        assert set(result.measurements) == {"q1", "q6"}
+        for query, rows in result.measurements.items():
+            assert len(rows) == 2          # 2 strategies x 1 scale
+            for measurement in rows:
+                assert measurement.finished, (query, measurement)
+        tables = result.tables()
+        assert "StandOff XMark Q1" in tables
+        assert STRATEGY_LABELS["ll"] in tables
+
+    def test_dnf_skip_propagates(self):
+        """Once a strategy DNFs it is skipped at larger scales."""
+        config = Figure6Config(scales=(0.05, 0.08), queries=("q2",),
+                               strategies=("udf",),
+                               budget_seconds=1e-4,  # everything DNFs
+                               skip_after_dnf=True)
+        result = run_figure6(config)
+        rows = result.measurements["q2"]
+        assert all(math.isinf(m.seconds) for m in rows)
+
+    def test_size_labels_grow_with_scale(self):
+        _db1, label1 = build_database(0.05)
+        _db2, label2 = build_database(0.1)
+        mb1 = float(label1.rstrip("MB"))
+        mb2 = float(label2.rstrip("MB"))
+        assert mb2 > mb1 > 0

@@ -1,0 +1,123 @@
+"""Cross-fragment querying: the global region index (paper §3.3 (ii))."""
+
+import pytest
+
+from repro.core import RegionIndex, StandoffOp
+from repro.core.global_index import GlobalRegionIndex, global_standoff_join
+from repro.errors import XQueryDynamicError
+from repro.xquery import Database
+
+SHOTS = ('<layer kind="shots">'
+         '<shot id="Intro" start="0" end="8"/>'
+         '<shot id="Interview" start="8" end="64"/>'
+         '<shot id="Outro" start="64" end="94"/></layer>')
+MUSIC = ('<layer kind="music">'
+         '<music artist="U2" start="0" end="31"/>'
+         '<music artist="Bach" start="52" end="94"/></layer>')
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.add_document("shots.xml", SHOTS)
+    database.add_document("music.xml", MUSIC)
+    return database
+
+
+class TestGlobalRegionIndex:
+    def test_merges_fragments(self):
+        frag1 = RegionIndex.build([(1, 0, 10), (2, 5, 8)])
+        frag2 = RegionIndex.build([(1, 3, 7)])
+        gidx = GlobalRegionIndex({10: frag1, 20: frag2})
+        assert len(gidx) == 3
+        assert gidx.fragment_count() == 2
+
+    def test_composite_ids_roundtrip(self):
+        frag1 = RegionIndex.build([(1, 0, 10)])
+        frag2 = RegionIndex.build([(1, 3, 7)])
+        gidx = GlobalRegionIndex({10: frag1, 20: frag2})
+        c1 = gidx.composite_id(10, 1)
+        c2 = gidx.composite_id(20, 1)
+        assert c1 != c2
+        assert gidx.pair_of(c1) == (10, 1)
+        assert gidx.pair_of(c2) == (20, 1)
+        assert gidx.composite_id(30, 1) is None
+
+    def test_multi_region_area_keeps_one_composite(self):
+        frag = RegionIndex.build([(7, 0, 10), (7, 20, 30)])
+        gidx = GlobalRegionIndex({1: frag})
+        assert len(gidx) == 2
+        assert gidx.composite_id(1, 7) is not None
+        # ∀-containment over the multi-region area still works globally
+        ctx = RegionIndex.build([(99, 0, 100)])
+        result = global_standoff_join(
+            StandoffOp.SELECT_NARROW, [(0, 2, 99)], gidx,
+            {1: frag, 2: ctx})
+        assert result == {0: [(1, 7)]}
+
+    def test_restrict(self):
+        frag1 = RegionIndex.build([(1, 0, 10), (2, 5, 8)])
+        gidx = GlobalRegionIndex({10: frag1})
+        table = gidx.restrict([(10, 2)])
+        assert len(table) == 1
+
+
+class TestGlobalJoin:
+    def test_cross_fragment_matches(self):
+        shots = RegionIndex.build([(1, 0, 8), (2, 8, 64), (3, 64, 94)])
+        music = RegionIndex.build([(1, 0, 31)])
+        gidx = GlobalRegionIndex({1: shots, 2: music})
+        result = global_standoff_join(
+            StandoffOp.SELECT_WIDE, [(0, 2, 1)], gidx,
+            {1: shots, 2: music})
+        # U2 overlaps Intro and Interview across fragments, and itself.
+        assert result == {0: [(1, 1), (1, 2), (2, 1)]}
+
+    def test_reject_across_fragments(self):
+        shots = RegionIndex.build([(1, 0, 8), (3, 64, 94)])
+        music = RegionIndex.build([(1, 0, 31)])
+        gidx = GlobalRegionIndex({1: shots, 2: music})
+        result = global_standoff_join(
+            StandoffOp.REJECT_WIDE, [(0, 2, 1)], gidx,
+            {1: shots, 2: music})
+        assert result == {0: [(1, 3)]}
+
+
+class TestGlobalBuiltins:
+    def test_axis_step_stays_in_fragment(self, db):
+        assert db.query(
+            'doc("music.xml")//music/select-wide::shot') == []
+
+    def test_global_function_crosses_fragments(self, db):
+        result = db.query(
+            'select-wide-global(doc("music.xml")//music[@artist="U2"])')
+        labels = [n.get_attribute("id") or n.get_attribute("artist")
+                  for n in result]
+        assert labels == ["Intro", "Interview", "U2"]
+
+    def test_global_reject(self, db):
+        result = db.query(
+            'reject-wide-global(doc("music.xml")//music[@artist="U2"])'
+            '/self::shot')
+        assert [n.get_attribute("id") for n in result] == ["Outro"]
+
+    def test_collection_function(self, db):
+        assert db.query("count(collection())") == [2]
+        assert db.query("count(collection()//shot)") == [3]
+
+    def test_global_on_constructed_fragment_rejected(self, db):
+        with pytest.raises(XQueryDynamicError):
+            db.query('select-wide-global(<x start="1" end="2"/>)')
+
+    def test_index_invalidated_on_store_change(self, db):
+        before = db.store.global_region_index()
+        assert db.store.global_region_index() is before   # cached
+        db.add_document("more.xml",
+                        '<layer><speech start="10" end="20"/></layer>')
+        after = db.store.global_region_index()
+        assert after is not before
+        assert len(after) == len(before) + 1
+        result = db.query(
+            'select-wide-global(doc("music.xml")//music[@artist="U2"])'
+            '/self::speech')
+        assert len(result) == 1

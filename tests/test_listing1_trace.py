@@ -1,0 +1,103 @@
+"""The execution trace of Figure 4 / Listing 1 (§4.5), step by step.
+
+The paper traces loop-lifted select-narrow over::
+
+    context  (iter, id, start, end)        candidates (start, end, id)
+    1  c1  0  15                            r1   5 10
+    2  c2 12  35                            r2  22 45
+    1  c3 20  30                            r3  40 60
+    1  c4 55  80                            r4  65 70
+
+producing results (iter1, r1) and (iter1, r4).
+
+**Erratum.** Listing 1's printed skip condition (line 14:
+``tmp.end <= context[i].end``) would skip any context item whose
+same-iteration active item ends before the *current* item — c3 ([20,30],
+iter 1) is skipped in the paper's trace although c1 ([0,15], iter 1)
+does *not* contain it.  In general that loses results: a candidate
+inside [20,30] would never be reported for iteration 1.  (Figure 4's
+candidate set happens to contain no such region, so the printed trace
+still yields the correct output.)  Our implementation skips only items
+truly contained in their iteration's active item and otherwise
+*replaces* it — which is safe because a non-contained same-iteration
+item always ends later.  The trace below therefore shows
+``replace-active c1 -> c3`` where the paper shows "skip c3"; all
+emissions agree.
+"""
+
+from repro.core import IterContext, RegionTable, StandoffOp, ll_join
+from repro.core.mergejoin_ll import ll_select_narrow
+
+C1, C2, C3, C4 = 101, 102, 103, 104
+R1, R2, R3, R4 = 201, 202, 203, 204
+
+CONTEXT = IterContext.from_rows([
+    (1, C1, 0, 15),
+    (2, C2, 12, 35),
+    (1, C3, 20, 30),
+    (1, C4, 55, 80),
+])
+
+CANDIDATES = RegionTable.from_rows([
+    (5, 10, R1),
+    (22, 45, R2),
+    (40, 60, R3),
+    (65, 70, R4),
+])
+
+
+def run_trace():
+    events = []
+    result = ll_select_narrow(CONTEXT, CANDIDATES, trace=events.append)
+    return events, result
+
+
+class TestFigure4:
+    def test_result_matches_paper(self):
+        _events, result = run_trace()
+        assert result == {1: [R1, R4]}
+
+    def test_trace_event_sequence(self):
+        events, _result = run_trace()
+        assert events == [
+            ("add-active", C1),           # paper step 1: add c1
+            ("emit", 1, R1),              # paper step 2: (iter1, r1)
+            ("add-active", C2),           # paper step 3: push c2
+            ("replace-active", C1, C3),   # paper step 4 (see erratum)
+            ("skip-candidate", R2),       # paper step 6: skip r2
+            ("trim", C3),                 # r3 expires c3 (end 30 < 40)
+            ("trim", C2),                 # ... and c2 (end 35 < 40)
+            ("skip-candidate", R3),       # paper step 8: skip r3
+            ("add-active", C4),           # paper step 7: add c4
+            ("emit", 1, R4),              # paper step 9: (iter1, r4)
+            ("exit",),                    # paper step 10
+        ]
+
+    def test_heap_structure_same_result(self):
+        result = ll_select_narrow(CONTEXT, CANDIDATES,
+                                  active_structure="heap")
+        assert result == {1: [R1, R4]}
+
+    def test_erratum_candidate_inside_c3_is_found(self):
+        """The case where the printed skip condition would lose output:
+        a candidate strictly inside c3 = [20,30] (iter 1)."""
+        candidates = RegionTable.from_rows([
+            (5, 10, R1),
+            (23, 27, 299),   # inside c3 (iter 1) and inside c2 (iter 2)
+            (65, 70, R4),
+        ])
+        result = ll_join(StandoffOp.SELECT_NARROW, CONTEXT, candidates)
+        assert result == {1: [R1, R4, 299], 2: [299]}
+
+    def test_other_operators_on_figure4_inputs(self):
+        wide = ll_join(StandoffOp.SELECT_WIDE, CONTEXT, CANDIDATES)
+        # iter1 active areas: c1 [0,15], c3 [20,30], c4 [55,80]:
+        #   r1 [5,10] overlaps c1; r2 [22,45] overlaps c3;
+        #   r3 [40,60] overlaps c4; r4 [65,70] overlaps c4.
+        # iter2 (c2 [12,35]): r2 overlaps.
+        assert wide == {1: [R1, R2, R3, R4], 2: [R2]}
+        reject_narrow = ll_join(StandoffOp.REJECT_NARROW, CONTEXT,
+                                CANDIDATES)
+        assert reject_narrow == {1: [R2, R3], 2: [R1, R2, R3, R4]}
+        reject_wide = ll_join(StandoffOp.REJECT_WIDE, CONTEXT, CANDIDATES)
+        assert reject_wide == {1: [], 2: [R1, R3, R4]}

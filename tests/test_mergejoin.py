@@ -1,0 +1,269 @@
+"""The merge-join algorithms against the naive oracle (paper §3.1, §4.4-4.5).
+
+The naive joins are a literal transcription of the paper's definitions and
+serve as reference semantics.  Hypothesis drives random region
+distributions — overlapping, nested, touching, multi-region — through
+both the basic and the loop-lifted merge joins, for both active-items
+structures.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Area,
+    IterContext,
+    Region,
+    RegionIndex,
+    RegionTable,
+    StandoffOp,
+    basic_join,
+    ll_join,
+    naive_join,
+    naive_join_loop,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+def single_regions(max_pos=60):
+    return st.tuples(st.integers(0, max_pos), st.integers(0, 20)).map(
+        lambda t: Area.of(t[0], t[0] + t[1]))
+
+
+def multi_region_areas(max_pos=60):
+    """Areas with 1-3 disjoint, non-touching regions."""
+    def build(raw):
+        regions = []
+        cursor = 0
+        for gap, length in raw:
+            start = cursor + gap + 2
+            regions.append(Region(start, start + length))
+            cursor = start + length
+        return Area(regions)
+    return st.lists(
+        st.tuples(st.integers(0, max_pos), st.integers(0, 15)),
+        min_size=1, max_size=3).map(build)
+
+
+def annotated(areas, max_nodes=20):
+    """(node_id, Area) lists with unique node ids."""
+    return st.lists(areas, min_size=0, max_size=max_nodes).map(
+        lambda lst: [(i, a) for i, a in enumerate(lst)])
+
+
+def as_table(pairs):
+    return RegionTable.from_areas(pairs)
+
+
+ALL_OPS = list(StandoffOp)
+
+
+# ----------------------------------------------------------------------
+# basic merge join == naive
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("op", ALL_OPS)
+@pytest.mark.parametrize("structure", ["list", "heap"])
+@given(ctx=annotated(single_regions()), cand=annotated(single_regions()))
+@settings(max_examples=60, deadline=None)
+def test_basic_equals_naive_single_region(op, structure, ctx, cand):
+    expected = naive_join(op, ctx, cand)
+    got = basic_join(op, as_table(ctx), as_table(cand),
+                     active_structure=structure)
+    assert got == expected
+
+
+@pytest.mark.parametrize("op", ALL_OPS)
+@given(ctx=annotated(multi_region_areas()),
+       cand=annotated(multi_region_areas()))
+@settings(max_examples=60, deadline=None)
+def test_basic_equals_naive_multi_region(op, ctx, cand):
+    expected = naive_join(op, ctx, cand)
+    got = basic_join(op, as_table(ctx), as_table(cand))
+    assert got == expected
+
+
+@pytest.mark.parametrize("op", ALL_OPS)
+@given(ctx=annotated(multi_region_areas()),
+       cand=annotated(single_regions()))
+@settings(max_examples=40, deadline=None)
+def test_basic_multi_context_single_candidates(op, ctx, cand):
+    expected = naive_join(op, ctx, cand)
+    assert basic_join(op, as_table(ctx), as_table(cand)) == expected
+
+
+# ----------------------------------------------------------------------
+# loop-lifted merge join == naive, per iteration
+# ----------------------------------------------------------------------
+
+def iter_annotated(areas, max_iters=5):
+    """(iter, node_id, Area) triples; several iterations share nodes.
+
+    A node id denotes one annotation, so its area must be consistent:
+    node id = index into a generated area pool.
+    """
+    def build(data):
+        pool, refs = data
+        return [(it, nid % len(pool), pool[nid % len(pool)])
+                for it, nid in refs]
+    return st.tuples(
+        st.lists(areas, min_size=1, max_size=12),
+        st.lists(st.tuples(st.integers(1, max_iters), st.integers(0, 30)),
+                 min_size=0, max_size=25, unique=True),
+    ).map(build)
+
+
+@pytest.mark.parametrize("op", ALL_OPS)
+@pytest.mark.parametrize("structure", ["list", "heap"])
+@given(ctx=iter_annotated(single_regions()),
+       cand=annotated(single_regions()))
+@settings(max_examples=60, deadline=None)
+def test_ll_equals_naive_single_region(op, structure, ctx, cand):
+    expected = naive_join_loop(op, ctx, cand)
+    expected = {it: ids for it, ids in expected.items()
+                if ids or op.is_reject}
+    context = IterContext.from_rows(
+        (it, nid, r.start, r.end)
+        for it, nid, area in ctx for r in area.regions)
+    got = ll_join(op, context, as_table(cand), active_structure=structure)
+    got = {it: ids for it, ids in got.items() if ids or op.is_reject}
+    assert got == expected
+
+
+@pytest.mark.parametrize("op", ALL_OPS)
+@given(ctx=iter_annotated(multi_region_areas()),
+       cand=annotated(multi_region_areas()))
+@settings(max_examples=60, deadline=None)
+def test_ll_equals_naive_multi_region(op, ctx, cand):
+    expected = naive_join_loop(op, ctx, cand)
+    expected = {it: ids for it, ids in expected.items()
+                if ids or op.is_reject}
+    context = IterContext.from_rows(
+        (it, nid, r.start, r.end)
+        for it, nid, area in ctx for r in area.regions)
+    got = ll_join(op, context, as_table(cand))
+    got = {it: ids for it, ids in got.items() if ids or op.is_reject}
+    assert got == expected
+
+
+# ----------------------------------------------------------------------
+# targeted cases
+# ----------------------------------------------------------------------
+
+class TestSelectNarrowCases:
+    def table(self, *rows):
+        return RegionTable.from_rows(rows)
+
+    def test_empty_inputs(self):
+        empty = self.table()
+        some = self.table((0, 10, 1))
+        assert basic_join(StandoffOp.SELECT_NARROW, empty, some) == []
+        assert basic_join(StandoffOp.SELECT_NARROW, some, empty) == []
+
+    def test_candidate_before_first_context(self):
+        # Regression: a candidate starting before every context region
+        # must not be reported just because some active end is large.
+        ctx = self.table((2, 10, 1))
+        cand = self.table((0, 5, 7))
+        assert basic_join(StandoffOp.SELECT_NARROW, ctx, cand) == []
+
+    def test_equal_boundaries_contained(self):
+        ctx = self.table((2, 10, 1))
+        cand = self.table((2, 10, 7))
+        assert basic_join(StandoffOp.SELECT_NARROW, ctx, cand) == [7]
+
+    def test_nested_contexts_same_result_once(self):
+        ctx = self.table((0, 100, 1), (10, 50, 2))
+        cand = self.table((20, 30, 7))
+        assert basic_join(StandoffOp.SELECT_NARROW, ctx, cand) == [7]
+
+    def test_candidate_spanning_two_disjoint_contexts(self):
+        ctx = self.table((0, 10, 1), (20, 30, 2))
+        cand = self.table((5, 25, 7))
+        assert basic_join(StandoffOp.SELECT_NARROW, ctx, cand) == []
+        assert basic_join(StandoffOp.SELECT_WIDE, ctx, cand) == [7]
+
+    def test_multi_region_candidate_must_fit_one_context_area(self):
+        # Candidate 7 has two regions matched by *different* context
+        # areas: §3.1 requires a single containing area, so no match.
+        ctx = RegionTable.from_areas([(1, Area.of(0, 10)),
+                                      (2, Area.of(20, 30))])
+        cand = RegionTable.from_areas(
+            [(7, Area([Region(2, 5), Region(22, 25)]))])
+        assert basic_join(StandoffOp.SELECT_NARROW, ctx, cand) == []
+
+    def test_multi_region_candidate_inside_multi_region_context(self):
+        ctx = RegionTable.from_areas(
+            [(1, Area([Region(0, 10), Region(20, 30)]))])
+        cand = RegionTable.from_areas(
+            [(7, Area([Region(2, 5), Region(22, 25)]))])
+        assert basic_join(StandoffOp.SELECT_NARROW, ctx, cand) == [7]
+
+
+class TestLoopLiftedCases:
+    def test_paper_figure4_result(self):
+        """The example table of §4.5: only (iter 1, r1) and (iter 1, r4)."""
+        context = IterContext.from_rows([
+            (1, 101, 0, 15),    # c1
+            (2, 102, 12, 35),   # c2
+            (1, 103, 20, 30),   # c3
+            (1, 104, 55, 80),   # c4
+        ])
+        candidates = RegionTable.from_rows([
+            (5, 10, 201),   # r1
+            (22, 45, 202),  # r2
+            (40, 60, 203),  # r3
+            (65, 70, 204),  # r4
+        ])
+        result = ll_join(StandoffOp.SELECT_NARROW, context, candidates)
+        assert result == {1: [201, 204]}
+
+    def test_iterations_kept_separate(self):
+        context = IterContext.from_rows([
+            (1, 11, 0, 10),
+            (2, 12, 100, 110),
+        ])
+        candidates = RegionTable.from_rows([(2, 5, 21), (102, 105, 22)])
+        result = ll_join(StandoffOp.SELECT_NARROW, context, candidates)
+        assert result == {1: [21], 2: [22]}
+
+    def test_same_node_in_many_iterations(self):
+        context = IterContext.from_rows(
+            [(it, 11, 0, 50) for it in range(1, 6)])
+        candidates = RegionTable.from_rows([(10, 20, 21)])
+        result = ll_join(StandoffOp.SELECT_NARROW, context, candidates)
+        assert result == {it: [21] for it in range(1, 6)}
+
+    def test_reject_returns_universe_for_unmatched_iter(self):
+        context = IterContext.from_rows([
+            (1, 11, 0, 100),
+            (2, 12, 1000, 1001),
+        ])
+        candidates = RegionTable.from_rows([(10, 20, 21), (30, 40, 22)])
+        result = ll_join(StandoffOp.REJECT_NARROW, context, candidates)
+        assert result == {1: [], 2: [21, 22]}
+
+    def test_empty_context_no_iterations(self):
+        candidates = RegionTable.from_rows([(10, 20, 21)])
+        for op in ALL_OPS:
+            assert ll_join(op, IterContext.from_rows([]), candidates) == {}
+
+
+class TestRegionIndexIntegration:
+    def test_fetch_then_join(self):
+        index = RegionIndex.build([
+            (1, 0, 100), (2, 10, 20), (3, 30, 40), (4, 200, 250)])
+        ctx = index.fetch([1])
+        result = basic_join(StandoffOp.SELECT_NARROW, ctx, index.table)
+        assert result == [1, 2, 3]
+
+    def test_candidate_pushdown(self):
+        index = RegionIndex.build([
+            (1, 0, 100), (2, 10, 20), (3, 30, 40)])
+        ctx = index.fetch([1])
+        result = basic_join(StandoffOp.SELECT_NARROW, ctx,
+                            index.candidates([3]))
+        assert result == [3]

@@ -1,0 +1,59 @@
+"""Tests for XML name validation and QName handling."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmldb.names import (
+    is_ncname,
+    is_qname,
+    local_name,
+    require_qname,
+    split_qname,
+)
+
+
+class TestNCName:
+    @pytest.mark.parametrize("good", [
+        "a", "abc", "_x", "a-b", "a.b", "a1", "héllo", "x_y-z.w",
+    ])
+    def test_valid(self, good):
+        assert is_ncname(good)
+
+    @pytest.mark.parametrize("bad", [
+        "", "1a", "-a", ".a", "a b", "a:b", "a/b", "a<b",
+    ])
+    def test_invalid(self, bad):
+        assert not is_ncname(bad)
+
+
+class TestQName:
+    @pytest.mark.parametrize("good", [
+        "a", "ns:a", "ns:a-b", "_p:_l",
+    ])
+    def test_valid(self, good):
+        assert is_qname(good)
+
+    @pytest.mark.parametrize("bad", [
+        "", ":a", "a:", "a:b:c", "1:a", "a:1", "a :b",
+    ])
+    def test_invalid(self, bad):
+        assert not is_qname(bad)
+
+    def test_require_qname_passes_through(self):
+        assert require_qname("ns:tag") == "ns:tag"
+
+    def test_require_qname_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            require_qname("not a name")
+
+
+class TestSplit:
+    def test_unprefixed(self):
+        assert split_qname("tag") == (None, "tag")
+
+    def test_prefixed(self):
+        assert split_qname("ns:tag") == ("ns", "tag")
+
+    def test_local_name(self):
+        assert local_name("ns:tag") == "tag"
+        assert local_name("tag") == "tag"

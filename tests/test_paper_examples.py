@@ -1,0 +1,288 @@
+"""Every worked example in the paper, as executable assertions.
+
+* Figure 1 + the §3.1 table of StandOff joins on the multimedia example;
+* §3.2's four notation alternatives (XQuery UDFs, UDFs with candidate
+  sequence, builtin functions, XPath steps) — all four give the same
+  answers;
+* §2's configurable representation (custom attribute names, the
+  ``<region>`` element form, non-contiguous areas).
+"""
+
+import pytest
+
+from repro.xquery import Database
+
+#: Figure 1's stand-off annotation document (attribute representation;
+#: time as seconds so positions stay integral: 0:08 -> 8 ... 1:34 -> 94).
+FIGURE1 = """
+<sample>
+  <video>
+    <shot id="Intro" start="0" end="8"/>
+    <shot id="Interview" start="8" end="64"/>
+    <shot id="Outro" start="64" end="94"/>
+  </video>
+  <audio>
+    <music artist="U2" start="0" end="31"/>
+    <music artist="Bach" start="52" end="94"/>
+  </audio>
+</sample>
+"""
+
+#: The expected results of the §3.1 table.
+SECTION31_TABLE = {
+    "select-narrow": ["Intro"],
+    "select-wide": ["Intro", "Interview"],
+    "reject-narrow": ["Interview", "Outro"],
+    "reject-wide": ["Outro"],
+}
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.add_document("video.xml", FIGURE1)
+    return database
+
+
+def ids(result):
+    return [node.get_attribute("id") for node in result]
+
+
+class TestSection31Table:
+    @pytest.mark.parametrize("strategy", ["udf", "basic", "ll"])
+    @pytest.mark.parametrize("op,expected",
+                             sorted(SECTION31_TABLE.items()))
+    def test_axis_step_form(self, db, op, expected, strategy):
+        result = db.query(
+            f'doc("video.xml")//music[@artist="U2"]/{op}::shot',
+            strategy=strategy)
+        assert ids(result) == expected
+
+    @pytest.mark.parametrize("op,expected",
+                             sorted(SECTION31_TABLE.items()))
+    def test_builtin_function_form(self, db, op, expected):
+        """Alternative 3: StandOff operators as builtin functions."""
+        result = db.query(
+            f'{op}(doc("video.xml")//music[@artist="U2"],'
+            f' doc("video.xml")//shot)')
+        assert ids(result) == expected
+
+    def test_results_are_document_ordered_nodes(self, db):
+        result = db.query(
+            'doc("video.xml")//music/select-wide::shot')
+        pres = [node.pre for node in result]
+        assert pres == sorted(set(pres))
+
+    def test_bach_contains_outro_only(self, db):
+        result = db.query(
+            'doc("video.xml")//music[@artist="Bach"]/select-narrow::shot')
+        assert ids(result) == ["Outro"]
+
+    def test_whole_sample_selects_everything(self, db):
+        # <sample> carries no region, so it cannot be a context node —
+        # but the shots contain themselves via the video track regions.
+        result = db.query('doc("video.xml")//shot/select-wide::music')
+        assert {node.get_attribute("artist") for node in result} == \
+            {"U2", "Bach"}
+
+
+class TestFigure2UDF:
+    """Alternative 1: the StandOff join as a plain XQuery function.
+
+    Figure 2 as printed compares ``@start``/``@end`` directly; with
+    untyped (schema-less) XML attributes the W3C general comparison of
+    two untypedAtomic values is *lexicographic*, so ``"8" <= "31"`` would
+    be false.  The paper's positions are typed integers; we make the
+    typing explicit with ``fn:number`` (see EXPERIMENTS.md, errata).
+    Other adaptations: the function name must not shadow the builtin.
+    """
+
+    QUERY = """
+    declare module standoff = "http://w3c.org/tr/standoff/"
+    declare function my-select-narrow($input as xs:anyNode*)
+      as xs:anyNode*
+    {
+      (for $q in $input
+       for $p in root($q)//*
+       where number($p/@start) >= number($q/@start)
+         and number($p/@end) <= number($q/@end)
+       return $p)/.
+    }
+    my-select-narrow(doc("video.xml")//music[@artist="U2"])/self::shot
+    """
+
+    def test_figure2_matches_axis_step(self, db):
+        result = db.query(self.QUERY)
+        assert ids(result) == ["Intro"]
+
+    def test_figure2_without_selffilter_includes_context(self, db):
+        # Without the /self::shot filter the semi-join against //* also
+        # returns the U2 annotation itself (a region contains itself).
+        query = self.QUERY.replace("/self::shot", "")
+        result = db.query(query)
+        labels = [node.get_attribute("id") or node.get_attribute("artist")
+                  for node in result]
+        assert labels == ["Intro", "U2"]
+
+
+class TestFigure3UDF:
+    """Alternative 2: function with candidate sequence (Figure 3)."""
+
+    QUERY = """
+    declare function my-select-narrow($input as xs:anyNode*,
+                                      $candidates as xs:anyNode*)
+      as xs:anyNode*
+    {
+      (for $q in $input
+       for $p in $candidates
+       where number($p/@start) >= number($q/@start)
+         and number($p/@end) <= number($q/@end)
+         and root($p) is root($q)
+       return $p)/.
+    }
+    my-select-narrow(doc("video.xml")//music[@artist="U2"],
+                     doc("video.xml")//shot)
+    """
+
+    def test_figure3_matches_axis_step(self, db):
+        result = db.query(self.QUERY)
+        assert ids(result) == ["Intro"]
+
+    def test_figure3_candidates_filter_out_other_fragment(self):
+        database = Database()
+        database.add_document("video.xml", FIGURE1)
+        database.add_document("other.xml",
+                              '<d><shot id="alien" start="0" end="1"/></d>')
+        query = self.QUERY.replace(
+            'doc("video.xml")//shot',
+            '(doc("video.xml")//shot, doc("other.xml")//shot)')
+        result = database.query(query)
+        assert ids(result) == ["Intro"]
+
+
+class TestConfigurableRepresentation:
+    """§2: names and representation are run-time settings."""
+
+    def test_custom_attribute_names(self):
+        db = Database()
+        db.add_document("doc.xml", """
+            <a><x id="outer" b="0" e="100"/>
+               <y id="inner" b="10" e="20"/></a>""")
+        result = db.query(
+            'declare option standoff-start "b"\n'
+            'declare option standoff-end "e"\n'
+            'doc("doc.xml")//x/select-narrow::y')
+        assert ids(result) == ["inner"]
+
+    def test_region_element_form(self):
+        db = Database()
+        db.add_document("doc.xml", """
+            <a>
+              <x id="outer"><region><start>0</start><end>100</end></region></x>
+              <y id="inner"><region><start>10</start><end>20</end></region></y>
+            </a>""")
+        result = db.query(
+            'declare option standoff-region "region"\n'
+            'doc("doc.xml")//x/select-narrow::y')
+        assert ids(result) == ["inner"]
+
+    def test_non_contiguous_area(self):
+        """A file reconstructed from scattered blocks (the forensics
+        motivation): its area is two disjoint regions."""
+        db = Database()
+        db.add_document("disk.xml", """
+            <image>
+              <file id="f1">
+                <region><start>0</start><end>10</end></region>
+                <region><start>50</start><end>60</end></region>
+              </file>
+              <hit id="inside-first"><region><start>2</start><end>5</end></region></hit>
+              <hit id="spanning-gap"><region><start>8</start><end>52</end></region></hit>
+              <hit id="in-gap"><region><start>20</start><end>30</end></region></hit>
+            </image>""")
+        prolog = 'declare option standoff-region "region"\n'
+        narrow = db.query(
+            prolog + 'doc("disk.xml")//file/select-narrow::hit')
+        assert ids(narrow) == ["inside-first"]
+        wide = db.query(
+            prolog + 'doc("disk.xml")//file/select-wide::hit')
+        assert ids(wide) == ["inside-first", "spanning-gap"]
+        reject_wide = db.query(
+            prolog + 'doc("disk.xml")//file/reject-wide::hit')
+        assert ids(reject_wide) == ["in-gap"]
+
+    def test_double_positions(self):
+        db = Database()
+        db.add_document("t.xml", """
+            <a><x id="o" start="0.0" end="1.5"/>
+               <y id="i" start="0.25" end="0.75"/></a>""")
+        result = db.query(
+            'declare option standoff-type "xs:double"\n'
+            'doc("t.xml")//x/select-narrow::y')
+        assert ids(result) == ["i"]
+
+    def test_unknown_standoff_option_rejected(self):
+        from repro.errors import XQueryStaticError
+
+        db = Database()
+        db.add_document("t.xml", "<a/>")
+        with pytest.raises(XQueryStaticError):
+            db.query('declare option standoff-oops "x"\n 1')
+
+
+class TestStepSemantics:
+    """§3.3: StandOff steps behave like XPath steps."""
+
+    def test_same_fragment_only(self):
+        db = Database()
+        db.add_document("a.xml",
+                        '<d><c id="ctx" start="0" end="100"/></d>')
+        db.add_document("b.xml",
+                        '<d><t id="other" start="10" end="20"/></d>')
+        result = db.query('doc("a.xml")//c/select-narrow::t')
+        assert result == []
+
+    def test_context_without_region_yields_nothing(self):
+        db = Database()
+        db.add_document("a.xml",
+                        '<d><c id="ctx"/><t start="1" end="2"/></d>')
+        assert db.query('doc("a.xml")//c/select-narrow::t') == []
+
+    def test_empty_context_yields_nothing_even_for_reject(self):
+        db = Database()
+        db.add_document("a.xml", '<d><t start="1" end="2"/></d>')
+        assert db.query('doc("a.xml")//zzz/reject-narrow::t') == []
+
+    def test_step_on_constructed_fragment(self):
+        db = Database()
+        result = db.query(
+            'let $f := <d><c start="0" end="9"/>'
+            '<t id="x" start="2" end="3"/></d> '
+            'return $f/c/select-narrow::t')
+        assert ids(result) == ["x"]
+
+    def test_predicate_after_standoff_step(self):
+        db = Database()
+        db.add_document("v.xml", FIGURE1)
+        result = db.query(
+            'doc("v.xml")//music[@artist="U2"]'
+            '/select-wide::shot[@id="Interview"]')
+        assert ids(result) == ["Interview"]
+
+    def test_positional_predicate_after_standoff_step(self):
+        db = Database()
+        db.add_document("v.xml", FIGURE1)
+        result = db.query(
+            'doc("v.xml")//music[@artist="U2"]/select-wide::shot[2]')
+        assert ids(result) == ["Interview"]
+
+    def test_wildcard_standoff_step(self):
+        db = Database()
+        db.add_document("v.xml", FIGURE1)
+        result = db.query(
+            'doc("v.xml")//music[@artist="U2"]/select-narrow::*')
+        # Intro is contained; so is the U2 annotation itself (regions are
+        # inclusive, and a region contains itself).  Document order.
+        labels = [node.get_attribute("id") or node.get_attribute("artist")
+                  for node in result]
+        assert labels == ["Intro", "U2"]

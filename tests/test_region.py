@@ -1,0 +1,176 @@
+"""Unit tests for Region and Area (paper §2, §3.1)."""
+
+import pytest
+
+from repro.core import Area, Region
+from repro.errors import RegionError
+
+
+class TestRegion:
+    def test_valid_region(self):
+        r = Region(1, 10)
+        assert r.start == 1
+        assert r.end == 10
+        assert r.length == 9
+
+    def test_point_region(self):
+        r = Region(5, 5)
+        assert r.length == 0
+        assert r.contains_point(5)
+
+    def test_inverted_region_rejected(self):
+        with pytest.raises(RegionError):
+            Region(10, 1)
+
+    def test_negative_positions_allowed(self):
+        r = Region(-10, -1)
+        assert r.length == 9
+
+    def test_float_positions(self):
+        r = Region(0.5, 2.25)
+        assert r.contains_point(1.0)
+        assert not r.contains_point(2.5)
+
+    def test_ordering_is_start_then_end(self):
+        assert sorted([Region(3, 4), Region(1, 9), Region(1, 2)]) == [
+            Region(1, 2), Region(1, 9), Region(3, 4)]
+
+    def test_contains_inclusive_bounds(self):
+        outer = Region(1, 10)
+        assert outer.contains(Region(1, 10))
+        assert outer.contains(Region(1, 5))
+        assert outer.contains(Region(5, 10))
+        assert not outer.contains(Region(0, 10))
+        assert not outer.contains(Region(1, 11))
+
+    def test_overlaps_shared_point_counts(self):
+        assert Region(1, 5).overlaps(Region(5, 9))
+        assert Region(5, 9).overlaps(Region(1, 5))
+
+    def test_overlaps_disjoint(self):
+        assert not Region(1, 4).overlaps(Region(5, 9))
+        assert not Region(5, 9).overlaps(Region(1, 4))
+
+    def test_touches(self):
+        assert Region(1, 4).touches(Region(5, 9))
+        assert Region(5, 9).touches(Region(1, 4))
+        assert not Region(1, 4).touches(Region(6, 9))
+        assert not Region(1, 5).touches(Region(5, 9))
+
+    def test_intersection(self):
+        assert Region(1, 6).intersection(Region(4, 9)) == Region(4, 6)
+        assert Region(1, 3).intersection(Region(5, 9)) is None
+
+    def test_shifted(self):
+        assert Region(1, 4).shifted(10) == Region(11, 14)
+
+    def test_str(self):
+        assert str(Region(1, 4)) == "[1,4]"
+
+    def test_hashable(self):
+        assert len({Region(1, 2), Region(1, 2), Region(1, 3)}) == 2
+
+
+class TestArea:
+    def test_single_region(self):
+        a = Area.of(1, 10)
+        assert len(a) == 1
+        assert a.start == 1
+        assert a.end == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(RegionError):
+            Area([])
+
+    def test_regions_sorted_canonically(self):
+        a = Area([Region(10, 20), Region(1, 5)])
+        assert a.regions == (Region(1, 5), Region(10, 20))
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(RegionError):
+            Area([Region(1, 5), Region(4, 9)])
+
+    def test_touching_regions_rejected(self):
+        with pytest.raises(RegionError):
+            Area([Region(1, 4), Region(5, 9)])
+
+    def test_coalescing_merges_overlap_and_touch(self):
+        a = Area.coalescing([Region(1, 4), Region(5, 9), Region(8, 12),
+                             Region(20, 25)])
+        assert a.regions == (Region(1, 12), Region(20, 25))
+
+    def test_envelope(self):
+        a = Area([Region(1, 5), Region(10, 20)])
+        assert a.envelope == Region(1, 20)
+        assert a.start == 1
+        assert a.end == 20
+
+    def test_equality_and_hash(self):
+        a = Area([Region(1, 5), Region(10, 20)])
+        b = Area([Region(10, 20), Region(1, 5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_iteration(self):
+        a = Area([Region(1, 5), Region(10, 20)])
+        assert list(a) == [Region(1, 5), Region(10, 20)]
+
+
+class TestAreaContains:
+    """Paper §3.1: contains(a1,a2) = ∀ r2 ∈ a2 ∃ r1 ∈ a1 : r1 ⊇ r2."""
+
+    def test_single_in_single(self):
+        assert Area.of(0, 100).contains(Area.of(10, 20))
+        assert not Area.of(10, 20).contains(Area.of(0, 100))
+
+    def test_equal_areas_contain_each_other(self):
+        a = Area([Region(1, 5), Region(10, 20)])
+        assert a.contains(a)
+
+    def test_multi_region_candidate_each_region_must_fit(self):
+        a1 = Area([Region(0, 10), Region(20, 30)])
+        inside = Area([Region(1, 2), Region(25, 28)])
+        straddling = Area([Region(1, 2), Region(15, 18)])
+        assert a1.contains(inside)
+        assert not a1.contains(straddling)
+
+    def test_one_candidate_region_spanning_gap_not_contained(self):
+        a1 = Area([Region(0, 10), Region(20, 30)])
+        # [5,25] is not inside [0,10] nor inside [20,30].
+        assert not a1.contains(Area.of(5, 25))
+
+    def test_envelope_containment_is_not_area_containment(self):
+        a1 = Area([Region(0, 10), Region(20, 30)])
+        cand = Area.of(12, 18)  # inside the envelope, inside the gap
+        assert a1.envelope.contains(cand.envelope)
+        assert not a1.contains(cand)
+
+
+class TestAreaOverlaps:
+    """Paper §3.1: overlaps(a1,a2) = ∃ r1, r2 sharing a position."""
+
+    def test_simple_overlap(self):
+        assert Area.of(0, 10).overlaps(Area.of(5, 15))
+        assert Area.of(5, 15).overlaps(Area.of(0, 10))
+
+    def test_disjoint(self):
+        assert not Area.of(0, 10).overlaps(Area.of(11, 15))
+
+    def test_boundary_point_overlap(self):
+        assert Area.of(0, 10).overlaps(Area.of(10, 15))
+
+    def test_multi_region_gap_no_overlap(self):
+        a1 = Area([Region(0, 10), Region(20, 30)])
+        assert not a1.overlaps(Area.of(12, 18))
+
+    def test_multi_region_cross_overlap(self):
+        a1 = Area([Region(0, 10), Region(20, 30)])
+        a2 = Area([Region(12, 22), Region(40, 50)])
+        assert a1.overlaps(a2)
+        assert a2.overlaps(a1)
+
+    def test_containment_implies_overlap(self):
+        a1 = Area([Region(0, 10), Region(20, 30)])
+        a2 = Area([Region(1, 2), Region(25, 28)])
+        assert a1.contains(a2)
+        assert a1.overlaps(a2)

@@ -1,0 +1,81 @@
+"""Tests for Allen's 13 interval relations and their reduction (§3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    AllenRelation,
+    CONTAINMENT_RELATIONS,
+    OVERLAP_RELATIONS,
+    Region,
+    classify,
+    region_contains,
+    region_overlaps,
+)
+
+regions = st.tuples(st.integers(-50, 50), st.integers(0, 30)).map(
+    lambda t: Region(t[0], t[0] + t[1]))
+
+
+class TestClassify:
+    def test_all_thirteen_reachable(self):
+        cases = {
+            AllenRelation.BEFORE: (Region(0, 2), Region(5, 9)),
+            AllenRelation.MEETS: (Region(0, 5), Region(5, 9)),
+            AllenRelation.OVERLAPS: (Region(0, 6), Region(4, 9)),
+            AllenRelation.STARTS: (Region(0, 4), Region(0, 9)),
+            AllenRelation.DURING: (Region(2, 4), Region(0, 9)),
+            AllenRelation.FINISHES: (Region(5, 9), Region(0, 9)),
+            AllenRelation.EQUAL: (Region(0, 9), Region(0, 9)),
+            AllenRelation.FINISHED_BY: (Region(0, 9), Region(5, 9)),
+            AllenRelation.CONTAINS: (Region(0, 9), Region(2, 4)),
+            AllenRelation.STARTED_BY: (Region(0, 9), Region(0, 4)),
+            AllenRelation.OVERLAPPED_BY: (Region(4, 9), Region(0, 6)),
+            AllenRelation.MET_BY: (Region(5, 9), Region(0, 5)),
+            AllenRelation.AFTER: (Region(5, 9), Region(0, 2)),
+        }
+        assert set(cases) == set(AllenRelation)
+        for expected, (r1, r2) in cases.items():
+            assert classify(r1, r2) is expected, expected
+
+    @given(regions, regions)
+    def test_classification_is_total_and_unique(self, r1, r2):
+        rel = classify(r1, r2)
+        assert isinstance(rel, AllenRelation)
+
+    @given(regions, regions)
+    def test_inverse_symmetry(self, r1, r2):
+        assert classify(r2, r1) is classify(r1, r2).inverse
+
+    @given(regions)
+    def test_self_is_equal(self, r):
+        assert classify(r, r) is AllenRelation.EQUAL
+
+
+class TestReduction:
+    """§3: the StandOff predicates collapse the 13 relations."""
+
+    @given(regions, regions)
+    def test_contains_matches_relation_set(self, r1, r2):
+        assert region_contains(r1, r2) == (
+            classify(r1, r2) in CONTAINMENT_RELATIONS)
+
+    @given(regions, regions)
+    def test_overlaps_matches_relation_set(self, r1, r2):
+        assert region_overlaps(r1, r2) == (
+            classify(r1, r2) in OVERLAP_RELATIONS)
+
+    @given(regions, regions)
+    def test_containment_implies_overlap(self, r1, r2):
+        if region_contains(r1, r2):
+            assert region_overlaps(r1, r2)
+
+    @given(regions, regions)
+    def test_overlap_is_symmetric(self, r1, r2):
+        assert region_overlaps(r1, r2) == region_overlaps(r2, r1)
+
+    def test_spectrum_extremes_are_disjunctive(self):
+        # "from r1 disjunctively preceding r2 ... to r1 disjunctively
+        # succeeding r2" — exactly BEFORE and AFTER are non-overlapping.
+        non_overlap = set(AllenRelation) - OVERLAP_RELATIONS
+        assert non_overlap == {AllenRelation.BEFORE, AllenRelation.AFTER}

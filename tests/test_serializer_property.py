@@ -1,0 +1,74 @@
+"""Property tests: serialize/parse round-trips on random DOM trees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmldb import Comment, Element, parse_document, serialize
+
+tag_names = st.sampled_from(["a", "b", "item", "ns:c", "x-y", "_d"])
+attr_names = st.sampled_from(["id", "start", "end", "v", "data-k"])
+text_chunks = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="\r"),
+    min_size=1, max_size=20)
+
+
+@st.composite
+def elements(draw, depth=0):
+    element = Element(draw(tag_names))
+    for name in draw(st.lists(attr_names, max_size=3, unique=True)):
+        element.set_attribute(name, draw(st.text(
+            alphabet=st.characters(codec="utf-8",
+                                   exclude_characters="\r"),
+            max_size=15)))
+    if depth < 3:
+        for kind in draw(st.lists(
+                st.sampled_from(["text", "element", "comment"]),
+                max_size=4)):
+            if kind == "text":
+                element.append_text(draw(text_chunks))
+            elif kind == "comment":
+                body = draw(st.text(
+                    alphabet="abcdef ", max_size=10))
+                element.append(Comment(body))
+            else:
+                element.append(draw(elements(depth=depth + 1)))
+    return element
+
+
+def signature(element):
+    """Structure + values, ignoring node identity."""
+    return (
+        element.tag,
+        tuple((a.name, a.value) for a in element.attributes),
+        tuple(
+            signature(child) if isinstance(child, Element)
+            else (type(child).__name__, child.string_value())
+            for child in element.children),
+    )
+
+
+@given(elements())
+@settings(max_examples=120, deadline=None)
+def test_serialize_parse_roundtrip(element):
+    text = serialize(element)
+    reparsed = parse_document(text).root_element
+    assert signature(reparsed) == signature(element)
+
+
+@given(elements())
+@settings(max_examples=60, deadline=None)
+def test_indented_output_reparses_to_same_string_value(element):
+    pretty = serialize(element, indent=True)
+    reparsed = parse_document(pretty).root_element
+    # indentation may add whitespace between element-only children, but
+    # never inside mixed content, so non-space content is preserved
+    assert "".join(reparsed.string_value().split()) == \
+        "".join(element.string_value().split())
+
+
+@given(elements())
+@settings(max_examples=60, deadline=None)
+def test_double_roundtrip_is_fixpoint(element):
+    once = serialize(parse_document(serialize(element)).root_element)
+    twice = serialize(parse_document(once).root_element)
+    assert once == twice

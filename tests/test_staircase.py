@@ -1,0 +1,149 @@
+"""Staircase Join tests: axes against a DOM-walk oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.staircase import (
+    ancestor_join,
+    child_join,
+    descendant_join,
+    iterated_descendant_join,
+    ll_descendant_join,
+    parent_join,
+    prune_context,
+)
+from repro.xmldb import Element, parse_document, shred
+
+
+def random_tree_xml(shape: list[int]) -> str:
+    """Deterministic nested document from a shape list (child fanouts)."""
+    parts = ["<r>"]
+    depth = 0
+    for fanout in shape:
+        if fanout % 3 == 0 and depth > 0:
+            parts.append("</n>")
+            depth -= 1
+        else:
+            parts.append(f'<n i="{fanout}">')
+            depth += 1
+    parts.extend("</n>" * depth)
+    parts.append("</r>")
+    return "".join(parts)
+
+
+trees = st.lists(st.integers(0, 8), min_size=0, max_size=40).map(
+    random_tree_xml)
+
+
+def dom_descendants(doc, pres):
+    out = set()
+    for pre in pres:
+        node = doc.node_by_pre(int(pre))
+        out.update(d.pre for d in node.descendants())
+        # attributes live inside the window as well
+        for d in [node, *node.descendants()]:
+            if isinstance(d, Element):
+                out.update(a.pre for a in d.attributes)
+    return sorted(out)
+
+
+class TestPrune:
+    def test_nested_pruned(self):
+        pres = np.asarray([1, 2, 5], dtype=np.int64)
+        sizes = np.asarray([10, 1, 2], dtype=np.int64)
+        assert prune_context(pres, sizes).tolist() == [0]
+
+    def test_disjoint_kept(self):
+        pres = np.asarray([1, 5], dtype=np.int64)
+        sizes = np.asarray([2, 2], dtype=np.int64)
+        assert prune_context(pres, sizes).tolist() == [0, 1]
+
+
+class TestDescendant:
+    @given(trees, st.sets(st.integers(0, 30), max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dom_walk(self, xml, raw_pres):
+        doc = parse_document(xml)
+        sh = shred(doc)
+        pres = np.asarray([p for p in raw_pres if p < doc.node_count],
+                          dtype=np.int64)
+        got = descendant_join(sh, pres).tolist()
+        assert got == dom_descendants(doc, pres)
+
+    def test_candidate_pushdown(self):
+        doc = parse_document("<r><a><b/><c/></a><b/></r>")
+        sh = shred(doc)
+        root = doc.root_element
+        a = root.find("a")
+        bs = sh.elements_named("b")
+        got = descendant_join(sh, np.asarray([a.pre]), bs).tolist()
+        assert got == [a.find("b").pre]
+
+    def test_empty_context(self):
+        doc = parse_document("<r/>")
+        sh = shred(doc)
+        assert descendant_join(sh, np.empty(0, np.int64)).tolist() == []
+
+
+class TestOtherAxes:
+    def test_ancestors(self):
+        doc = parse_document("<r><a><b><c/></b></a></r>")
+        sh = shred(doc)
+        c = doc.root_element.find("a").find("b").find("c")
+        got = ancestor_join(sh, np.asarray([c.pre])).tolist()
+        expected = sorted(n.pre for n in c.ancestors())
+        assert got == expected
+
+    def test_children(self):
+        doc = parse_document("<r><a/><b><c/></b><d/></r>")
+        sh = shred(doc)
+        root = doc.root_element
+        got = child_join(sh, np.asarray([root.pre])).tolist()
+        assert got == [child.pre for child in root.children]
+
+    def test_parent(self):
+        doc = parse_document("<r><a/><b/></r>")
+        sh = shred(doc)
+        root = doc.root_element
+        kids = np.asarray([c.pre for c in root.children])
+        assert parent_join(sh, kids).tolist() == [root.pre]
+
+
+class TestLoopLifted:
+    @given(trees,
+           st.lists(st.tuples(st.integers(1, 4), st.integers(0, 25)),
+                    max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_equals_iterated(self, xml, raw_context):
+        doc = parse_document(xml)
+        sh = shred(doc)
+        context = [(it, pre) for it, pre in raw_context
+                   if pre < doc.node_count]
+        expected = iterated_descendant_join(sh, context)
+        got = ll_descendant_join(sh, context)
+        assert got == expected
+
+    def test_iterations_independent(self):
+        doc = parse_document("<r><a><b/></a><c><d/></c></r>")
+        sh = shred(doc)
+        root = doc.root_element
+        a, c = root.find("a"), root.find("c")
+        got = ll_descendant_join(sh, [(1, a.pre), (2, c.pre)])
+        assert got == {1: [a.find("b").pre], 2: [c.find("d").pre]}
+
+    def test_shared_pre_across_iters(self):
+        doc = parse_document("<r><a><b/></a></r>")
+        sh = shred(doc)
+        a = doc.root_element.find("a")
+        got = ll_descendant_join(sh, [(1, a.pre), (2, a.pre), (3, a.pre)])
+        b_pre = a.find("b").pre
+        assert got == {1: [b_pre], 2: [b_pre], 3: [b_pre]}
+
+    def test_candidate_restriction(self):
+        doc = parse_document("<r><a><b/><c/></a></r>")
+        sh = shred(doc)
+        a = doc.root_element.find("a")
+        cands = sh.elements_named("c")
+        got = ll_descendant_join(sh, [(1, a.pre)], cands)
+        assert got == {1: [a.find("c").pre]}

@@ -1,0 +1,112 @@
+"""Tests for step-level execution (core/steps.py): strategies,
+fragment partitioning, pushdown — directly on the core API."""
+
+import numpy as np
+import pytest
+
+from repro.core import RegionIndex, StandoffOp, Strategy, standoff_step
+
+
+@pytest.fixture
+def two_fragments():
+    """Two fragments with deliberately similar region layouts."""
+    frag1 = RegionIndex.build([
+        (1, 0, 100),     # container
+        (2, 10, 20),     # inside
+        (3, 150, 160),   # outside
+    ])
+    frag2 = RegionIndex.build([
+        (1, 0, 100),
+        (2, 10, 20),
+        (9, 40, 50),
+    ])
+    return {101: frag1, 102: frag2}
+
+
+ALL_STRATEGIES = [Strategy.UDF, Strategy.BASIC, Strategy.LOOP_LIFTED]
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("op", list(StandoffOp))
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_single_fragment(self, two_fragments, op, strategy):
+        context = [(0, 101, 1)]
+        reference = standoff_step(op, context, two_fragments,
+                                  strategy=Strategy.UDF)
+        got = standoff_step(op, context, two_fragments, strategy=strategy)
+        assert got == reference
+
+    @pytest.mark.parametrize("op", list(StandoffOp))
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_multi_fragment_multi_iter(self, two_fragments, op, strategy):
+        context = [(0, 101, 1), (0, 102, 1), (1, 102, 2), (2, 101, 3)]
+        reference = standoff_step(op, context, two_fragments,
+                                  strategy=Strategy.UDF)
+        got = standoff_step(op, context, two_fragments, strategy=strategy)
+        assert got == reference
+
+
+class TestFragmentSemantics:
+    def test_matches_only_same_fragment(self, two_fragments):
+        result = standoff_step(StandoffOp.SELECT_NARROW, [(0, 101, 1)],
+                               two_fragments)
+        # fragment 102's node 2 (also inside [0,100]) must not appear
+        assert result == {0: [(101, 1), (101, 2)]}
+
+    def test_results_in_fragment_then_id_order(self, two_fragments):
+        result = standoff_step(StandoffOp.SELECT_NARROW,
+                               [(0, 101, 1), (0, 102, 1)], two_fragments)
+        assert result[0] == [(101, 1), (101, 2), (102, 1), (102, 2),
+                             (102, 9)]
+
+    def test_unknown_fragment_ignored(self, two_fragments):
+        result = standoff_step(StandoffOp.SELECT_NARROW, [(0, 999, 1)],
+                               two_fragments)
+        assert result == {}
+
+    def test_context_node_without_region_ignored(self, two_fragments):
+        result = standoff_step(StandoffOp.SELECT_NARROW, [(0, 101, 777)],
+                               two_fragments)
+        assert result == {}
+
+
+class TestPushdown:
+    def test_candidate_restriction(self, two_fragments):
+        result = standoff_step(
+            StandoffOp.SELECT_NARROW, [(0, 101, 1)], two_fragments,
+            candidate_ids={101: np.asarray([2])})
+        assert result == {0: [(101, 2)]}
+
+    def test_fragment_missing_from_candidate_map_skipped(
+            self, two_fragments):
+        result = standoff_step(
+            StandoffOp.SELECT_NARROW, [(0, 101, 1), (0, 102, 1)],
+            two_fragments, candidate_ids={101: np.asarray([2])})
+        assert result == {0: [(101, 2)]}
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_pushdown_equals_postfilter(self, two_fragments, strategy):
+        wanted = {2, 9}
+        pushed = standoff_step(
+            StandoffOp.SELECT_WIDE, [(0, 101, 1), (0, 102, 1)],
+            two_fragments,
+            candidate_ids={101: np.asarray([2, 9]),
+                           102: np.asarray([2, 9])},
+            strategy=strategy)
+        full = standoff_step(StandoffOp.SELECT_WIDE,
+                             [(0, 101, 1), (0, 102, 1)], two_fragments,
+                             strategy=strategy)
+        filtered = {it: [(f, n) for f, n in pairs if n in wanted]
+                    for it, pairs in full.items()}
+        assert pushed == filtered
+
+
+class TestStrategyParsing:
+    def test_from_name(self):
+        assert Strategy.from_name("udf") is Strategy.UDF
+        assert Strategy.from_name("ll") is Strategy.LOOP_LIFTED
+        assert Strategy.from_name("LOOP_LIFTED") is Strategy.LOOP_LIFTED
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            Strategy.from_name("quantum")

@@ -1,0 +1,76 @@
+"""XML tokenizer event-stream tests (independent of the DOM parser)."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmldb.tokenizer import tokenize
+
+
+def events(text):
+    return list(tokenize(text))
+
+
+class TestEvents:
+    def test_start_end(self):
+        assert events("<a></a>") == [
+            ("start", "a", [], False), ("end", "a")]
+
+    def test_self_closing(self):
+        assert events("<a/>") == [("start", "a", [], True)]
+
+    def test_attributes_in_order(self):
+        ((_, _, attrs, _),) = events('<a x="1" y="2"/>')
+        assert attrs == [("x", "1"), ("y", "2")]
+
+    def test_attribute_entity_expansion(self):
+        ((_, _, attrs, _),) = events('<a t="a&lt;b&#33;"/>')
+        assert attrs == [("t", "a<b!")]
+
+    def test_text_between_tags(self):
+        assert events("<a>hi</a>")[1] == ("text", "hi")
+
+    def test_cdata_becomes_text(self):
+        assert events("<a><![CDATA[<raw>&]]></a>")[1] == \
+            ("text", "<raw>&")
+
+    def test_comment_event(self):
+        assert events("<a><!--note--></a>")[1] == ("comment", "note")
+
+    def test_pi_event(self):
+        assert events("<a><?target some data?></a>")[1] == \
+            ("pi", "target", "some data")
+
+    def test_xml_declaration_suppressed(self):
+        assert events('<?xml version="1.0"?><a/>') == \
+            [("start", "a", [], True)]
+
+    def test_doctype_with_internal_subset_skipped(self):
+        text = ('<!DOCTYPE a [<!ENTITY e "v"><!ELEMENT a (#PCDATA)>]>'
+                "<a/>")
+        assert events(text) == [("start", "a", [], True)]
+
+    def test_whitespace_in_tags(self):
+        ((_, name, attrs, selfclosing),) = events('<a  x = "1"  />')
+        assert name == "a"
+        assert attrs == [("x", "1")]
+        assert selfclosing
+
+    def test_multibyte_names(self):
+        evs = events("<héllo/>")
+        assert evs[0][1] == "héllo"
+
+
+class TestTokenizerErrors:
+    @pytest.mark.parametrize("bad", [
+        "<a", "<a x=1/>", "<a x='1' x='2'/>", "<!-- unterminated",
+        "<![CDATA[", "<?pi", "<a x='<'/>", "<!DOCTYPE unterminated",
+        "<a>&nope;</a>", "<1/>",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            events(bad)
+
+    def test_error_position_points_at_problem(self):
+        with pytest.raises(XMLSyntaxError) as info:
+            events("<a>\n\n<b x=bad/></a>")
+        assert info.value.line == 3

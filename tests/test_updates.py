@@ -1,0 +1,103 @@
+"""Update support: insert/delete with index maintenance (§3.3 (ii))."""
+
+import pytest
+
+from repro import Database
+from repro.errors import XQueryTypeError
+
+DOC = """
+<video>
+  <music artist="U2" start="0" end="31"/>
+  <shot id="Intro" start="0" end="8"/>
+</video>
+"""
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.add_document("v.xml", DOC)
+    return database
+
+
+class TestInsert:
+    def test_inserted_annotation_joins(self, db):
+        db.insert_nodes("v.xml", 'doc("v.xml")/video',
+                        '<shot id="Teaser" start="9" end="20"/>')
+        result = db.query(
+            'doc("v.xml")//music/select-narrow::shot')
+        assert [n.get_attribute("id") for n in result] == \
+            ["Intro", "Teaser"]
+
+    def test_insert_under_multiple_parents(self, db):
+        count = db.insert_nodes("v.xml", 'doc("v.xml")//shot',
+                                "<frame/>")
+        assert count == 1
+        assert db.query('count(doc("v.xml")//frame)') == [1]
+
+    def test_insert_fragment_with_multiple_roots(self, db):
+        db.insert_nodes("v.xml", 'doc("v.xml")/video',
+                        '<a start="1" end="2"/><b start="3" end="4"/>')
+        assert db.query('count(doc("v.xml")/video/*)') == [4]
+
+    def test_shredded_columns_rebuilt(self, db):
+        before = db.document("v.xml").shredded
+        db.insert_nodes("v.xml", 'doc("v.xml")/video', "<x/>")
+        after = db.document("v.xml").shredded
+        assert after is not before
+        assert len(after.elements_named("x")) == 1
+
+    def test_global_index_invalidated(self, db):
+        before = db.store.global_region_index()
+        db.insert_nodes("v.xml", 'doc("v.xml")/video',
+                        '<shot id="New" start="40" end="50"/>')
+        after = db.store.global_region_index()
+        assert after is not before
+        assert len(after) == len(before) + 1
+
+    def test_insert_rejects_foreign_parent(self, db):
+        db.add_document("other.xml", "<o/>")
+        with pytest.raises(XQueryTypeError):
+            db.insert_nodes("v.xml", 'doc("other.xml")/o', "<x/>")
+
+    def test_insert_rejects_attribute_parent(self, db):
+        with pytest.raises(XQueryTypeError):
+            db.insert_nodes("v.xml", 'doc("v.xml")//shot/@id', "<x/>")
+
+    def test_no_parents_no_invalidation(self, db):
+        version = db.store.version
+        count = db.insert_nodes("v.xml", 'doc("v.xml")//nothing',
+                                "<x/>")
+        assert count == 0
+        assert db.store.version == version
+
+
+class TestDelete:
+    def test_deleted_annotation_gone_from_joins(self, db):
+        deleted = db.delete_nodes("v.xml", 'doc("v.xml")//shot')
+        assert deleted == 1
+        assert db.query(
+            'doc("v.xml")//music/select-narrow::shot') == []
+
+    def test_delete_attribute(self, db):
+        db.delete_nodes("v.xml", 'doc("v.xml")//shot/@id')
+        assert db.query('doc("v.xml")//shot/@id') == []
+
+    def test_delete_rejects_document_node(self, db):
+        with pytest.raises(XQueryTypeError):
+            db.delete_nodes("v.xml", 'doc("v.xml")')
+
+    def test_delete_region_updates_index(self, db):
+        # Remove the music annotation: the join context disappears.
+        db.delete_nodes("v.xml", 'doc("v.xml")//music')
+        assert db.query(
+            'doc("v.xml")//music/select-narrow::shot') == []
+        index = db.document("v.xml").region_index()
+        assert len(index) == 1      # only the shot remains
+
+    def test_counts_after_roundtrip(self, db):
+        db.insert_nodes("v.xml", 'doc("v.xml")/video',
+                        '<shot id="X" start="70" end="80"/>')
+        assert db.query('count(doc("v.xml")//shot)') == [2]
+        db.delete_nodes("v.xml", 'doc("v.xml")//shot[@id="X"]')
+        assert db.query('count(doc("v.xml")//shot)') == [1]

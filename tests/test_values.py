@@ -1,0 +1,167 @@
+"""Unit and property tests for the XQuery value model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import XQueryDynamicError, XQueryTypeError
+from repro.xmldb import parse_document
+from repro.xquery.values import (
+    arithmetic,
+    atomic_to_string,
+    atomize,
+    atomize_single,
+    compare_atomic,
+    effective_boolean_value,
+    general_compare,
+    string_value,
+    to_number,
+    value_compare,
+)
+
+
+class TestAtomize:
+    def test_nodes_become_string_values(self):
+        doc = parse_document("<a>one<b>two</b></a>")
+        assert atomize([doc.root_element]) == ["onetwo"]
+
+    def test_attributes(self):
+        doc = parse_document('<a x="42"/>')
+        attr = doc.root_element.attribute_node("x")
+        assert atomize([attr]) == ["42"]
+
+    def test_atomics_pass_through(self):
+        assert atomize([1, "x", True, 2.5]) == [1, "x", True, 2.5]
+
+    def test_atomize_single_rejects_many(self):
+        with pytest.raises(XQueryTypeError):
+            atomize_single([1, 2])
+
+    def test_atomize_single_empty_is_none(self):
+        assert atomize_single([]) is None
+
+
+class TestEffectiveBooleanValue:
+    def test_empty_false(self):
+        assert effective_boolean_value([]) is False
+
+    def test_node_first_true(self):
+        doc = parse_document("<a/>")
+        assert effective_boolean_value([doc.root_element, 1, 2]) is True
+
+    def test_singleton_rules(self):
+        assert effective_boolean_value([True]) is True
+        assert effective_boolean_value([False]) is False
+        assert effective_boolean_value([""]) is False
+        assert effective_boolean_value(["x"]) is True
+        assert effective_boolean_value([0]) is False
+        assert effective_boolean_value([0.0]) is False
+        assert effective_boolean_value([7]) is True
+        assert effective_boolean_value([float("nan")]) is False
+
+    def test_multi_atomic_raises(self):
+        with pytest.raises(XQueryTypeError):
+            effective_boolean_value([1, 2])
+
+
+class TestToNumber:
+    def test_parses(self):
+        assert to_number("42") == 42.0
+        assert to_number(" 2.5 ") == 2.5
+        assert to_number(True) == 1.0
+        assert to_number(3) == 3.0
+
+    def test_rejects_garbage(self):
+        with pytest.raises(XQueryDynamicError):
+            to_number("forty-two")
+
+
+class TestAtomicToString:
+    def test_booleans(self):
+        assert atomic_to_string(True) == "true"
+        assert atomic_to_string(False) == "false"
+
+    def test_whole_floats_printed_as_integers(self):
+        assert atomic_to_string(2.0) == "2"
+        assert atomic_to_string(2.5) == "2.5"
+
+    def test_string_value_of_empty(self):
+        assert string_value([]) == ""
+
+
+class TestComparisons:
+    def test_numeric_string_coercion(self):
+        # untyped vs number -> numeric comparison
+        assert compare_atomic("8", 31, "<=") is True
+        assert compare_atomic(31, "8", ">=") is True
+
+    def test_string_string_is_lexicographic(self):
+        # two untyped values compare as strings (the Figure 2 erratum)
+        assert compare_atomic("8", "31", "<=") is False
+
+    def test_boolean_mismatch_raises(self):
+        with pytest.raises(XQueryTypeError):
+            compare_atomic(True, "true", "=")
+
+    def test_general_compare_existential(self):
+        assert general_compare([1, 2], [2, 9], "=") is True
+        assert general_compare([1, 2], [], "=") is False
+        assert general_compare([], [], "=") is False
+
+    def test_value_compare_empty_propagates(self):
+        assert value_compare([], [1], "eq") == []
+        assert value_compare([1], [], "lt") == []
+
+    def test_value_compare_multi_raises(self):
+        with pytest.raises(XQueryTypeError):
+            value_compare([1, 2], [1], "eq")
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_total_order_consistency(self, a, b):
+        assert compare_atomic(a, b, "<") == (a < b)
+        assert compare_atomic(a, b, "=") == (a == b)
+        lt = compare_atomic(a, b, "<")
+        gt = compare_atomic(a, b, ">")
+        eq = compare_atomic(a, b, "=")
+        assert lt + gt + eq == 1
+
+
+class TestArithmetic:
+    def test_integer_ops_stay_int(self):
+        (r,) = arithmetic([6], [4], "+")
+        assert r == 10 and isinstance(r, int)
+        (r,) = arithmetic([6], [4], "idiv")
+        assert r == 1 and isinstance(r, int)
+        (r,) = arithmetic([6], [4], "mod")
+        assert r == 2
+
+    def test_integer_div_gives_decimal(self):
+        (r,) = arithmetic([1], [2], "div")
+        assert r == 0.5
+
+    def test_idiv_truncates_toward_zero(self):
+        assert arithmetic([-7], [2], "idiv") == [-3]
+        assert arithmetic([7], [-2], "idiv") == [-3]
+
+    def test_mod_sign_follows_dividend(self):
+        assert arithmetic([-7], [2], "mod") == [-1]
+        assert arithmetic([7], [-2], "mod") == [1]
+
+    def test_untyped_coercion(self):
+        assert arithmetic(["6"], [2], "*") == [12.0]
+
+    def test_empty_propagates(self):
+        assert arithmetic([], [2], "+") == []
+
+    def test_division_by_zero(self):
+        for op in ("div", "idiv", "mod"):
+            with pytest.raises(XQueryDynamicError):
+                arithmetic([1], [0], op)
+
+    @given(st.integers(-50, 50), st.integers(1, 50))
+    def test_idiv_mod_invariant(self, a, b):
+        (q,) = arithmetic([a], [b], "idiv")
+        (r,) = arithmetic([a], [b], "mod")
+        assert q * b + r == a

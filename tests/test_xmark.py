@@ -1,0 +1,249 @@
+"""XMark generator, StandOff conversion and benchmark-query tests."""
+
+import pytest
+
+from repro.xmark import (
+    BASE_COUNTS,
+    QUERY_IDS,
+    generate_xmark,
+    generate_xmark_document,
+    query_text,
+    rewrite_query_standoff,
+    standoffize,
+)
+from repro.xmldb import parse_document
+from repro.xquery import Database
+
+
+@pytest.fixture(scope="module")
+def small_doc():
+    return generate_xmark_document(scale=0.08, seed=11)
+
+
+@pytest.fixture(scope="module")
+def standoff_db(small_doc):
+    bundle = standoffize(small_doc, permute=True)
+    db = Database()
+    db.store.add("xmark.xml", bundle.document)
+    return db
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_xmark(0.05, seed=3) == generate_xmark(0.05, seed=3)
+
+    def test_seed_changes_content(self):
+        assert generate_xmark(0.05, seed=3) != generate_xmark(0.05, seed=4)
+
+    def test_cardinalities_scale(self, small_doc):
+        db = Database()
+        db.store.add("x.xml", small_doc)
+        scale = 0.08
+        for entity, tag in (("items", "item"), ("persons", "person"),
+                            ("open_auctions", "open_auction")):
+            (count,) = db.query(f'count(doc("x.xml")//{tag})')
+            expected = max(1, round(BASE_COUNTS[entity] * scale))
+            assert count == expected, tag
+
+    def test_structure_expected_sections(self, small_doc):
+        site = small_doc.root_element
+        assert site.tag == "site"
+        sections = [el.tag for el in site.elements()]
+        assert sections == ["regions", "categories", "people",
+                            "open_auctions", "closed_auctions"]
+
+    def test_person_ids_dense(self, small_doc):
+        db = Database()
+        db.store.add("x.xml", small_doc)
+        (name,) = db.query(
+            'doc("x.xml")//person[@id="person0"]/name/text()')
+        assert name.string_value()
+
+    def test_every_open_auction_has_bidder(self, small_doc):
+        db = Database()
+        db.store.add("x.xml", small_doc)
+        (auctions,) = db.query('count(doc("x.xml")//open_auction)')
+        (with_bidder,) = db.query(
+            'count(doc("x.xml")//open_auction[bidder])')
+        assert auctions == with_bidder
+
+    def test_parses_after_serialization(self, small_doc):
+        text = small_doc.serialize()
+        reparsed = parse_document(text)
+        assert reparsed.root_element.tag == "site"
+
+
+class TestStandoffize:
+    def test_blob_contains_text(self, small_doc):
+        bundle = standoffize(small_doc, permute=False)
+        # every original text chunk must appear in the BLOB
+        for node in small_doc.descendants():
+            if node.kind_name == "text":
+                assert node.text in bundle.blob
+
+    def test_annotation_document_has_no_text(self, small_doc):
+        bundle = standoffize(small_doc)
+        assert all(node.kind_name != "text"
+                   for node in bundle.document.descendants())
+
+    def test_every_element_has_region(self, small_doc):
+        bundle = standoffize(small_doc)
+        for node in bundle.document.descendants():
+            if node.kind_name == "element":
+                start = int(node.get_attribute("start"))
+                end = int(node.get_attribute("end"))
+                assert 0 <= start <= end < bundle.blob_size
+
+    def test_regions_nest_like_original_tree(self, small_doc):
+        """Unpermuted: child regions strictly inside parent regions."""
+        bundle = standoffize(small_doc, permute=False)
+        for node in bundle.document.descendants():
+            if node.kind_name != "element" or node.parent is None \
+                    or node.parent.kind_name != "element":
+                continue
+            ps = int(node.parent.get_attribute("start"))
+            pe = int(node.parent.get_attribute("end"))
+            s = int(node.get_attribute("start"))
+            e = int(node.get_attribute("end"))
+            assert ps < s <= e < pe
+
+    def test_disjoint_subtrees_disjoint_regions(self, small_doc):
+        bundle = standoffize(small_doc, permute=False)
+        site = bundle.document.root_element
+        sections = list(site.elements())
+        spans = [(int(el.get_attribute("start")),
+                  int(el.get_attribute("end"))) for el in sections]
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 < s2
+
+    def test_permutation_changes_structure_not_regions(self, small_doc):
+        plain = standoffize(small_doc, permute=False)
+        permuted = standoffize(small_doc, permute=True)
+        assert plain.blob == permuted.blob
+
+        def region_set(document):
+            return sorted(
+                (node.tag, node.get_attribute("start"),
+                 node.get_attribute("end"))
+                for node in document.descendants()
+                if node.kind_name == "element")
+
+        assert region_set(plain.document) == region_set(permuted.document)
+
+        def parent_pairs(document):
+            return sorted(
+                (node.tag, node.parent.tag)
+                for node in document.descendants()
+                if node.kind_name == "element"
+                and node.parent.kind_name == "element")
+
+        assert parent_pairs(plain.document) != \
+            parent_pairs(permuted.document)
+
+    def test_unpermuted_select_narrow_equals_descendant(self, small_doc):
+        """The fidelity check: on an unpermuted conversion,
+        select-narrow::X == descendant::X for element steps."""
+        bundle = standoffize(small_doc, permute=False)
+        db = Database()
+        db.store.add("s.xml", bundle.document)
+        for tag in ("item", "person", "bidder", "description"):
+            narrow = db.query(
+                f'doc("s.xml")//site/select-narrow::{tag}')
+            descend = db.query(f'doc("s.xml")/site/descendant::{tag}')
+            assert [n.pre for n in narrow] == [n.pre for n in descend], tag
+
+
+class TestBenchmarkQueries:
+    @pytest.mark.parametrize("qid", QUERY_IDS)
+    def test_standoff_strategies_agree(self, standoff_db, qid):
+        query = query_text(qid, "xmark.xml", standoff=True)
+        results = {
+            strategy: standoff_db.query(query, strategy=strategy)
+            for strategy in ("udf", "basic", "ll")}
+        base = results["udf"].serialize()
+        assert results["basic"].serialize() == base
+        assert results["ll"].serialize() == base
+
+    @pytest.mark.parametrize("qid", QUERY_IDS)
+    def test_nonempty_results(self, standoff_db, qid):
+        query = query_text(qid, "xmark.xml", standoff=True)
+        result = standoff_db.query(query, strategy="ll")
+        assert len(result) >= 1
+
+    def test_q2_returns_increase_elements(self, standoff_db):
+        query = query_text("q2", "xmark.xml", standoff=True)
+        result = standoff_db.query(query, strategy="ll")
+        assert all(el.tag == "increase" for el in result)
+
+    def test_q6_counts_items(self, standoff_db):
+        query = query_text("q6", "xmark.xml", standoff=True)
+        (count,) = standoff_db.query(query, strategy="ll")
+        expected = max(1, round(BASE_COUNTS["items"] * 0.08))
+        assert count == expected
+
+    def test_plain_queries_on_original(self, small_doc):
+        db = Database()
+        db.store.add("plain.xml", small_doc)
+        for qid in QUERY_IDS:
+            query = query_text(qid, "plain.xml", standoff=False)
+            assert len(db.query(query)) >= 1
+
+    def test_plain_vs_standoff_q6_agree_on_unpermuted(self, small_doc):
+        """Counting items inside regions == counting item descendants,
+        when the conversion does not permute."""
+        bundle = standoffize(small_doc, permute=False)
+        db = Database()
+        db.store.add("plain.xml", small_doc)
+        db.store.add("s.xml", bundle.document)
+        plain = db.query(query_text("q6", "plain.xml", standoff=False))
+        standoff = db.query(query_text("q6", "s.xml", standoff=True))
+        assert plain == standoff
+
+
+class TestQueryRewriter:
+    def test_simple_rewrite(self):
+        assert rewrite_query_standoff("//site/open_auctions") == \
+            "/select-narrow::site/select-narrow::open_auctions"
+
+    def test_preserves_attributes_and_calls(self):
+        rewritten = rewrite_query_standoff('$b/bidder[1]/@id')
+        assert "select-narrow::bidder" in rewritten
+        assert "@id" in rewritten
+
+
+class TestStandoffizeOptions:
+    def test_permute_fraction_zero_keeps_structure(self, small_doc):
+        bundle = standoffize(small_doc, permute=True, permute_fraction=0.0,
+                             seed=1)
+        reference = standoffize(small_doc, permute=False)
+
+        def parent_pairs(document):
+            return sorted(
+                (node.tag, node.parent.tag)
+                for node in document.descendants()
+                if node.kind_name == "element"
+                and node.parent.kind_name == "element")
+
+        # fraction 0 moves nothing; only child order is shuffled
+        assert parent_pairs(bundle.document) == \
+            parent_pairs(reference.document)
+
+    def test_permutation_deterministic_per_seed(self, small_doc):
+        a = standoffize(small_doc, permute=True, seed=3)
+        b = standoffize(small_doc, permute=True, seed=3)
+        c = standoffize(small_doc, permute=True, seed=4)
+        assert a.document.serialize() == b.document.serialize()
+        assert a.document.serialize() != c.document.serialize()
+
+    def test_queries_survive_any_seed(self, small_doc):
+        from repro.xquery import Database
+
+        for seed in (1, 2):
+            bundle = standoffize(small_doc, permute=True, seed=seed)
+            db = Database()
+            db.store.add("s.xml", bundle.document)
+            q = query_text("q6", "s.xml", standoff=True)
+            basic = db.query(q, strategy="basic")
+            ll = db.query(q, strategy="ll")
+            assert list(basic) == list(ll)
+            assert basic[0] > 0

@@ -1,0 +1,98 @@
+"""The wider XMark query suite on the generated document."""
+
+import pytest
+
+from repro.xmark import (
+    EXTENDED_PLAIN,
+    EXTENDED_STANDOFF,
+    extended_query_text,
+    generate_xmark_document,
+    standoffize,
+)
+from repro.xquery import Database
+
+
+@pytest.fixture(scope="module")
+def db():
+    source = generate_xmark_document(scale=0.2, seed=5)
+    bundle = standoffize(source, permute=True)
+    database = Database()
+    database.store.add("plain.xml", source)
+    database.store.add("standoff.xml", bundle.document)
+    return database
+
+
+class TestExtendedPlain:
+    @pytest.mark.parametrize("qid", sorted(EXTENDED_PLAIN))
+    def test_runs_without_error(self, db, qid):
+        query = extended_query_text(qid, "plain.xml")
+        result = db.query(query)
+        assert isinstance(list(result), list)
+
+    def test_q3_shape(self, db):
+        result = db.query(extended_query_text("q3", "plain.xml"))
+        for el in result:
+            first = float(el.get_attribute("first"))
+            last = float(el.get_attribute("last"))
+            assert first * 2 <= last
+
+    def test_q5_counts_expensive_sales(self, db):
+        (count,) = db.query(extended_query_text("q5", "plain.xml"))
+        (total,) = db.query('count(doc("plain.xml")//closed_auction)')
+        assert 0 < count <= total
+
+    def test_q8_join_totals_match(self, db):
+        """Sum of per-person purchase counts == number of closed
+        auctions (every auction has exactly one buyer)."""
+        result = db.query(extended_query_text("q8", "plain.xml"))
+        bought = sum(int(el.string_value()) for el in result)
+        (total,) = db.query('count(doc("plain.xml")//closed_auction)')
+        assert bought == total
+
+    def test_q13_australian_items(self, db):
+        result = db.query(extended_query_text("q13", "plain.xml"))
+        (expected,) = db.query(
+            'count(doc("plain.xml")/site/regions/australia/item)')
+        assert len(result) == expected
+
+    def test_q17_complement_of_homepages(self, db):
+        result = db.query(extended_query_text("q17", "plain.xml"))
+        (total,) = db.query('count(doc("plain.xml")//person)')
+        (with_hp,) = db.query(
+            'count(doc("plain.xml")//person[homepage])')
+        assert len(result) == total - with_hp
+
+    def test_q20_partitions_profiles(self, db):
+        (result,) = db.query(extended_query_text("q20", "plain.xml"))
+        buckets = [int(child.string_value())
+                   for child in result.children]
+        (total,) = db.query('count(doc("plain.xml")//profile)')
+        assert sum(buckets) == total
+
+
+class TestExtendedStandoff:
+    @pytest.mark.parametrize("qid", sorted(EXTENDED_STANDOFF))
+    @pytest.mark.parametrize("strategy", ["basic", "ll"])
+    def test_runs_under_both_strategies(self, db, qid, strategy):
+        query = extended_query_text(qid, "standoff.xml", standoff=True)
+        result = db.query(query, strategy=strategy)
+        assert isinstance(list(result), list)
+
+    @pytest.mark.parametrize("qid", sorted(EXTENDED_STANDOFF))
+    def test_strategies_agree(self, db, qid):
+        query = extended_query_text(qid, "standoff.xml", standoff=True)
+        basic = db.query(query, strategy="basic").serialize()
+        ll = db.query(query, strategy="ll").serialize()
+        assert basic == ll
+
+    def test_q17_standoff_matches_plain_count(self, db):
+        """Structure-independent invariant: the number of persons
+        without homepage is the same however we navigate."""
+        plain = db.query(extended_query_text("q17", "plain.xml"))
+        standoff = db.query(
+            extended_query_text("q17", "standoff.xml", standoff=True))
+        assert len(plain) == len(standoff)
+
+    def test_unknown_query_id(self):
+        with pytest.raises(ValueError):
+            extended_query_text("q99", "x.xml")

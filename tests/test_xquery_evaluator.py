@@ -1,0 +1,384 @@
+"""Evaluator tests, run against BOTH engines where the subset overlaps.
+
+The ``engine`` fixture parameterises every test over the iterative
+(tree-walking) evaluator and the loop-lifted bulk evaluator, asserting
+identical observable results — the bulk evaluator's correctness oracle.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import (
+    UnsupportedFeatureError,
+    XQueryDynamicError,
+    XQueryStaticError,
+    XQueryTypeError,
+)
+from repro.xquery import Database
+
+DOC = """
+<library>
+  <book year="2003" price="30">
+    <title>Staircase Join</title>
+    <author>Grust</author>
+  </book>
+  <book year="2002" price="15">
+    <title>Structural Joins</title>
+    <author>Al-Khalifa</author>
+  </book>
+  <book year="2006" price="45">
+    <title>StandOff Annotation</title>
+    <author>Alink</author>
+    <author>Boncz</author>
+  </book>
+</library>
+"""
+
+
+@pytest.fixture(params=["basic", "ll"])
+def engine(request):
+    db = Database()
+    db.add_document("lib.xml", DOC)
+    strategy = request.param
+
+    def run(query, **kw):
+        return db.query(query, strategy=strategy, **kw)
+
+    run.strategy = strategy
+    run.db = db
+    return run
+
+
+class TestBasics:
+    def test_literal(self, engine):
+        assert engine("42") == [42]
+
+    def test_sequence(self, engine):
+        assert engine("(1, 2, 3)") == [1, 2, 3]
+
+    def test_arithmetic(self, engine):
+        assert engine("2 + 3 * 4") == [14]
+        assert engine("10 div 4") == [2.5]
+        assert engine("10 idiv 4") == [2]
+        assert engine("10 mod 4") == [2]
+        assert engine("-(5)") == [-5]
+
+    def test_division_by_zero(self, engine):
+        with pytest.raises(XQueryDynamicError):
+            engine("1 div 0")
+
+    def test_integer_arithmetic_stays_integral(self, engine):
+        (result,) = engine("2 + 3")
+        assert isinstance(result, int)
+
+    def test_empty_propagates_through_arithmetic(self, engine):
+        assert engine("() + 1") == []
+
+    def test_range(self, engine):
+        assert engine("1 to 4") == [1, 2, 3, 4]
+        assert engine("3 to 2") == []
+
+    def test_comparisons(self, engine):
+        assert engine("1 < 2") == [True]
+        assert engine('"a" = "a"') == [True]
+        assert engine("1 eq 1") == [True]
+        assert engine("2 gt 3") == [False]
+
+    def test_general_comparison_existential(self, engine):
+        assert engine("(1, 2, 3) = 2") == [True]
+        assert engine("(1, 2) = (3, 4)") == [False]
+
+    def test_untyped_coercion_number_vs_node(self, engine):
+        assert engine('doc("lib.xml")//book[@price > 20]/@price',
+                      ).atomized() == ["30", "45"]
+
+    def test_if(self, engine):
+        assert engine("if (1 = 1) then 'y' else 'n'") == ["y"]
+        assert engine("if (()) then 'y' else 'n'") == ["n"]
+
+    def test_and_or(self, engine):
+        assert engine("1 = 1 and 2 = 2") == [True]
+        assert engine("1 = 2 or 2 = 2") == [True]
+
+
+class TestPathsAndPredicates:
+    def test_descendant(self, engine):
+        assert len(engine('doc("lib.xml")//book')) == 3
+
+    def test_child_chain(self, engine):
+        titles = engine('doc("lib.xml")/library/book/title').atomized()
+        assert titles == ["Staircase Join", "Structural Joins",
+                          "StandOff Annotation"]
+
+    def test_attribute_step(self, engine):
+        assert engine('doc("lib.xml")//book[1]/@year').atomized() == ["2003"]
+
+    def test_predicate_comparison(self, engine):
+        titles = engine(
+            'doc("lib.xml")//book[@year="2006"]/title').atomized()
+        assert titles == ["StandOff Annotation"]
+
+    def test_positional_predicate_per_context(self, engine):
+        # author[1] picks the first author of EACH book
+        firsts = engine('doc("lib.xml")//book/author[1]').atomized()
+        assert firsts == ["Grust", "Al-Khalifa", "Alink"]
+
+    def test_text_node_step(self, engine):
+        texts = engine('doc("lib.xml")//book[3]/title/text()')
+        assert texts.atomized() == ["StandOff Annotation"]
+
+    def test_wildcard(self, engine):
+        kids = engine('doc("lib.xml")/library/book[1]/*')
+        assert len(kids) == 2
+
+    def test_result_in_document_order_and_deduped(self, engine):
+        # union of overlapping node sets
+        result = engine('doc("lib.xml")//author union '
+                        'doc("lib.xml")//book[3]/author')
+        assert result.atomized() == ["Grust", "Al-Khalifa", "Alink",
+                                     "Boncz"]
+
+    def test_count(self, engine):
+        assert engine('count(doc("lib.xml")//author)') == [4]
+
+    def test_descendant_or_self_shorthand_midpath(self, engine):
+        assert engine('count(doc("lib.xml")/library//author)') == [4]
+
+
+class TestFLWOR:
+    def test_paper_section41_example(self, engine):
+        result = engine('for $x in ("twenty", "thirty") '
+                        'for $y in ("one", "two") '
+                        'let $z := ($x, $y) return $z')
+        assert result == ["twenty", "one", "twenty", "two",
+                          "thirty", "one", "thirty", "two"]
+
+    def test_where(self, engine):
+        assert engine("for $i in (1 to 6) where $i mod 2 = 0 "
+                      "return $i") == [2, 4, 6]
+
+    def test_positional_variable(self, engine):
+        assert engine('for $x at $i in ("a","b","c") '
+                      'return $i * 10') == [10, 20, 30]
+
+    def test_nested_loops_with_paths(self, engine):
+        result = engine(
+            'for $b in doc("lib.xml")//book '
+            'for $a in $b/author '
+            'return concat($a, "/", $b/@year)')
+        assert result == ["Grust/2003", "Al-Khalifa/2002",
+                          "Alink/2006", "Boncz/2006"]
+
+    def test_let_reused(self, engine):
+        assert engine("let $x := 5 let $y := $x * $x "
+                      "return $y - $x") == [20]
+
+    def test_empty_binding_skips_body(self, engine):
+        assert engine("for $x in () return 1") == []
+
+    def test_count_per_iteration(self, engine):
+        counts = engine('for $b in doc("lib.xml")//book '
+                        'return count($b/author)')
+        assert counts == [1, 1, 2]
+
+
+class TestOrderByAndQuantifiers:
+    def test_order_by(self, engine):
+        result = engine('for $b in doc("lib.xml")//book '
+                        'order by $b/@year return $b/@year')
+        assert result.atomized() == ["2002", "2003", "2006"]
+
+    def test_order_by_descending(self, engine):
+        result = engine('for $b in doc("lib.xml")//book '
+                        'order by $b/@year descending return $b/@year')
+        assert result.atomized() == ["2006", "2003", "2002"]
+
+    def test_order_by_numeric_key(self, engine):
+        result = engine('for $p in (3, 1, 2) order by $p return $p * 10')
+        assert result == [10, 20, 30]
+
+    def test_order_by_multi_key(self, engine):
+        result = engine(
+            'for $b in doc("lib.xml")//book '
+            'for $a in $b/author '
+            'order by $b/@year descending, $a '
+            'return concat($b/@year, ":", $a)')
+        assert result == ["2006:Alink", "2006:Boncz",
+                          "2003:Grust", "2002:Al-Khalifa"]
+
+    def test_order_by_inside_outer_loop_stays_grouped(self, engine):
+        result = engine(
+            'for $g in (1, 2) return <g>{'
+            'for $x in (3, 1, 2) order by $x return $x * $g'
+            '}</g>')
+        assert [el.string_value() for el in result] == \
+            ["1 2 3", "2 4 6"]
+
+    def test_some_every(self, engine):
+        assert engine('some $b in doc("lib.xml")//book '
+                      'satisfies $b/@price > 40') == [True]
+        assert engine('every $b in doc("lib.xml")//book '
+                      'satisfies $b/@price > 40') == [False]
+
+    def test_quantifier_over_empty_binding(self, engine):
+        assert engine('some $x in () satisfies $x') == [False]
+        assert engine('every $x in () satisfies $x') == [True]
+
+    def test_quantifier_in_where(self, engine):
+        result = engine(
+            'for $b in doc("lib.xml")//book '
+            'where some $a in $b/author satisfies $a = "Boncz" '
+            'return $b/title/text()')
+        assert result.atomized() == ["StandOff Annotation"]
+
+
+class TestConstructors:
+    def test_simple_element(self, engine):
+        (el,) = engine("<a x='1'>hi</a>")
+        assert el.serialize() == '<a x="1">hi</a>'
+
+    def test_embedded_expression(self, engine):
+        (el,) = engine("<a>{1 + 1}</a>")
+        assert el.serialize() == "<a>2</a>"
+
+    def test_attribute_expression(self, engine):
+        (el,) = engine('<a n="{2 * 21}"/>')
+        assert el.get_attribute("n") == "42"
+
+    def test_copied_nodes(self, engine):
+        (el,) = engine('<best>{doc("lib.xml")//book[3]/title}</best>')
+        assert el.serialize() == \
+            "<best><title>StandOff Annotation</title></best>"
+
+    def test_atomics_space_separated(self, engine):
+        (el,) = engine("<a>{(1, 2, 3)}</a>")
+        assert el.serialize() == "<a>1 2 3</a>"
+
+    def test_constructed_nodes_queryable(self, engine):
+        result = engine('count(<a><b/><b/></a>/b)')
+        assert result == [2]
+
+    def test_constructor_per_iteration(self, engine):
+        result = engine('for $b in doc("lib.xml")//book '
+                        'return <y>{$b/@year}</y>')
+        assert [el.string_value() for el in result] == \
+            ["2003", "2002", "2006"]
+
+
+class TestFunctions:
+    def test_string_functions(self, engine):
+        assert engine('concat("a", "b", "c")') == ["abc"]
+        assert engine('contains("standoff", "and")') == [True]
+        assert engine('starts-with("abc", "ab")') == [True]
+        assert engine('substring("hello", 2, 3)') == ["ell"]
+        assert engine('string-length("four")') == [4]
+        assert engine('upper-case("up")') == ["UP"]
+        assert engine('normalize-space("  a   b ")') == ["a b"]
+        assert engine('string-join(("a","b"), "-")') == ["a-b"]
+
+    def test_numeric_functions(self, engine):
+        assert engine("sum((1, 2, 3))") == [6]
+        assert engine("avg((2, 4))") == [3.0]
+        assert engine("min((3, 1, 2))") == [1.0]
+        assert engine("max((3, 1, 2))") == [3.0]
+        assert engine("floor(2.7)") == [2]
+        assert engine("ceiling(2.1)") == [3]
+        assert engine("round(2.5)") == [3]
+        assert engine("abs(-4)") == [4.0]
+
+    def test_number_of_unparseable_is_nan(self, engine):
+        (value,) = engine('number("not-a-number")')
+        assert math.isnan(value)
+
+    def test_sequence_functions(self, engine):
+        assert engine("empty(())") == [True]
+        assert engine("exists((1))") == [True]
+        assert engine("distinct-values((1, 2, 1, 3))") == [1, 2, 3]
+        assert engine("reverse((1, 2, 3))") == [3, 2, 1]
+        assert engine("subsequence((1,2,3,4), 2, 2)") == [2, 3]
+        assert engine('index-of((5,6,5), 5)') == [1, 3]
+
+    def test_boolean_functions(self, engine):
+        assert engine("not(1 = 1)") == [False]
+        assert engine("true()") == [True]
+        assert engine("boolean((1))") == [True]
+
+    def test_name_functions(self, engine):
+        assert engine('name(doc("lib.xml")/library)') == ["library"]
+        assert engine('local-name(doc("lib.xml")//book[1]/@year)') == \
+            ["year"]
+
+    def test_root_function(self, engine):
+        result = engine('count(root((doc("lib.xml")//author)[1])//book)')
+        assert result == [3]
+
+    def test_unknown_function_raises(self, engine):
+        with pytest.raises(XQueryStaticError):
+            engine("no-such-function(1)")
+
+    def test_doc_of_missing_document(self, engine):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            engine('doc("nope.xml")')
+
+
+class TestExternalVariables:
+    def test_binding(self, engine):
+        assert engine("$n * 2", variables={"n": 21}) == [42]
+
+    def test_sequence_binding(self, engine):
+        assert engine("sum($xs)", variables={"xs": [1, 2, 3]}) == [6]
+
+    def test_undefined_variable(self, engine):
+        with pytest.raises(XQueryDynamicError):
+            engine("$missing")
+
+
+class TestIterativeOnly:
+    """Features supported only by the tree-walking evaluator."""
+
+    def fixture_db(self):
+        db = Database()
+        db.add_document("lib.xml", DOC)
+        return db
+
+    def test_declared_variable(self):
+        db = self.fixture_db()
+        assert db.query("declare variable $n := 6; $n * 7") == [42]
+
+    def test_user_defined_function(self):
+        db = self.fixture_db()
+        result = db.query(
+            "declare function double($x as xs:integer) as xs:integer "
+            "{ $x * 2 }; double(21)")
+        assert result == [42]
+
+    def test_bulk_rejects_udf(self):
+        db = self.fixture_db()
+        with pytest.raises(UnsupportedFeatureError):
+            db.query("declare function f($x) { $x }; f(1)",
+                     strategy="ll")
+
+
+    def test_following_preceding_axes(self):
+        db = self.fixture_db()
+        result = db.query(
+            'doc("lib.xml")//book[2]/following-sibling::book/@year')
+        assert result.atomized() == ["2006"]
+        result = db.query(
+            'doc("lib.xml")//book[2]/preceding-sibling::book/@year')
+        assert result.atomized() == ["2003"]
+
+    def test_ancestor_axis(self):
+        db = self.fixture_db()
+        result = db.query('doc("lib.xml")//author[1]/ancestor::library')
+        assert len(result) == 1
+
+    def test_node_comparisons(self):
+        db = self.fixture_db()
+        assert db.query('doc("lib.xml")//book[1] is '
+                        'doc("lib.xml")//book[1]') == [True]
+        assert db.query('doc("lib.xml")//book[1] << '
+                        'doc("lib.xml")//book[2]') == [True]
