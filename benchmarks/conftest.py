@@ -7,6 +7,7 @@ full sweep with DNF handling (the actual Figure 6 series) lives in
 ``python -m repro.bench.figure6``.
 """
 
+import os
 import random
 
 import pytest
@@ -15,8 +16,10 @@ from repro.bench.figure6 import build_database
 from repro.core import RegionIndex, RegionTable
 from repro.core.mergejoin_ll import IterContext
 
-#: XMark scale for the per-query strategy benchmarks.
-BENCH_SCALE = 0.5
+#: XMark scale for the per-query strategy benchmarks.  Operators can
+#: shrink the ``pytest benchmarks/`` workloads with e.g.
+#: ``REPRO_BENCH_SCALE=0.1`` (``run_all.py`` has its own smoke sizes).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 
 
 @pytest.fixture(scope="session")

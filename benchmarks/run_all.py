@@ -1,0 +1,459 @@
+#!/usr/bin/env python
+"""Unified benchmark runner: every ``bench_*.py`` scenario, one JSON.
+
+Executes the workload behind each benchmark file in this directory with
+wall-clock timing (median of N repeats, DNF budget via SIGALRM) and
+emits a machine-readable trajectory file::
+
+    PYTHONPATH=src python benchmarks/run_all.py             # full run
+    PYTHONPATH=src python benchmarks/run_all.py --smoke     # CI-sized
+    PYTHONPATH=src python benchmarks/run_all.py --only staircase
+
+Each scenario record carries ``scenario`` (dotted name), ``file`` (the
+bench_*.py it mirrors), ``kernel`` (``ll-list`` | ``ll-heap`` |
+``vectorized`` | ``null`` for non-join scenarios), ``n`` (workload
+size), ``seconds`` (median wall time; ``null`` + ``dnf: true`` on
+budget overrun) and ``repeats``.  The staircase-vs-standoff scenario
+sweeps document scales; the summary block records the vectorized-kernel
+speedup at the largest size — the perf-trajectory headline.
+
+Output defaults to ``BENCH_PR1.json`` (``BENCH_SMOKE.json`` with
+``--smoke``) at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_ROOT = _HERE.parent
+for path in (str(_ROOT / "src"), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import numpy as np                                        # noqa: E402
+
+from conftest import synthetic_iter_context, synthetic_regions  # noqa: E402
+from repro.bench.figure6 import build_database            # noqa: E402
+from repro.bench.harness import median_runtime            # noqa: E402
+from repro.core import (                                  # noqa: E402
+    RegionIndex,
+    RegionTable,
+    StandoffOp,
+    basic_join,
+    ll_join,
+    vec_join,
+)
+from repro.core.global_index import (                     # noqa: E402
+    GlobalRegionIndex,
+    global_standoff_join,
+)
+from repro.core.mergejoin_ll import IterContext           # noqa: E402
+from repro.staircase.loop_lifted import ll_descendant_join  # noqa: E402
+from repro.xmark import query_text                        # noqa: E402
+from repro.xquery import Database                         # noqa: E402
+
+#: Kernel labels used in the JSON records.
+LL_LIST = "ll-list"
+LL_HEAP = "ll-heap"
+VECTORIZED = "vectorized"
+
+
+class Runner:
+    """Collects scenario records with shared timing settings."""
+
+    def __init__(self, *, smoke: bool, only: str | None,
+                 repeats: int, budget: float):
+        self.smoke = smoke
+        self.only = only
+        self.repeats = repeats
+        self.budget = budget
+        self.records: list[dict] = []
+
+    def wanted(self, scenario: str) -> bool:
+        return self.only is None or self.only in scenario
+
+    def any_wanted(self, *scenarios: str) -> bool:
+        """True when at least one scenario name passes the --only filter
+        (lets scenario functions skip expensive setup entirely)."""
+        return any(self.wanted(name) for name in scenarios)
+
+    def measure(self, scenario: str, file: str, kernel: str | None,
+                n: int, fn, label: str | None = None, **extra) -> float:
+        """Time one scenario, record it, and return the median seconds
+        (``inf`` when the budget was exceeded or the scenario was
+        filtered out)."""
+        if not self.wanted(scenario):
+            return math.inf
+        seconds = median_runtime(fn, self.budget, self.repeats)
+        dnf = math.isinf(seconds)
+        self.records.append({
+            "scenario": scenario,
+            "file": file,
+            "kernel": kernel,
+            "n": int(n),
+            "seconds": None if dnf else round(seconds, 6),
+            "repeats": self.repeats,
+            "dnf": dnf,
+            **extra,
+        })
+        shown = "DNF" if dnf else f"{seconds * 1e3:10.3f}ms"
+        print(f"  {label or scenario:58s} {shown}", flush=True)
+        return seconds
+
+
+def _join_kernels(op, context, candidates):
+    """(kernel label, callable) for one loop-lifted join workload."""
+    return [
+        (LL_LIST, lambda: ll_join(op, context, candidates,
+                                  active_structure="list")),
+        (LL_HEAP, lambda: ll_join(op, context, candidates,
+                                  active_structure="heap")),
+        (VECTORIZED, lambda: vec_join(op, context, candidates)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# scenarios (one function per bench_*.py file)
+# ----------------------------------------------------------------------
+
+def scenario_region_index(r: Runner) -> None:
+    file = "bench_region_index.py"
+    if not r.any_wanted("region_index.build", "region_index.intersection",
+                        "region_index.fetch"):
+        return
+    n = 5_000 if r.smoke else 100_000
+    index = synthetic_regions(n, seed=31)
+    entries = [(int(i), int(s), int(e))
+               for s, e, i in index.table.iter_rows()]
+    r.measure("region_index.build", file, None, n,
+              lambda: RegionIndex.build(entries))
+    wanted = index.annotated_ids()[::10]
+    r.measure("region_index.intersection", file, None, n,
+              lambda: index.candidates(wanted))
+    context_ids = index.annotated_ids()[:500].tolist()
+    r.measure("region_index.fetch", file, None, n,
+              lambda: index.fetch(context_ids))
+
+
+def scenario_table_joins(r: Runner) -> None:
+    file = "bench_table_standoff_joins.py"
+    if not r.any_wanted(
+            *(f"table_joins.basic.{op.value}" for op in StandoffOp),
+            "table_joins.lifted.select-narrow",
+            "table_joins.lifted.select-wide"):
+        return
+    n = 2_000 if r.smoke else 20_000
+    index = synthetic_regions(n, seed=3)
+    context = synthetic_regions(n, seed=4)
+    for op in StandoffOp:
+        r.measure(f"table_joins.basic.{op.value}", file, LL_LIST, n,
+                  lambda op=op: basic_join(op, context.table, index.table))
+    n_iters, per_iter = (50, 5) if r.smoke else (500, 20)
+    lifted = synthetic_iter_context(n_iters, per_iter, span=1_000_000,
+                                   max_len=500)
+    for op in (StandoffOp.SELECT_NARROW, StandoffOp.SELECT_WIDE):
+        for kernel, fn in _join_kernels(op, lifted, index.table):
+            r.measure(f"table_joins.lifted.{op.value}", file, kernel,
+                      n, fn)
+
+
+def scenario_active_structures(r: Runner) -> None:
+    import random as _random
+
+    file = "bench_ablation_active_heap.py"
+    n_iters, per_iter, n_cand = (50, 8, 3_000) if r.smoke \
+        else (400, 25, 30_000)
+    for kind in ("shallow", "deep"):
+        if not r.wanted(f"active_structure.{kind}"):
+            continue
+        rng = _random.Random(9)
+        span = 1_000_000
+        rows = []
+        node = 0
+        for it in range(n_iters):
+            for _ in range(per_iter):
+                start = rng.randrange(span)
+                length = rng.randrange(span // 3) if kind == "deep" \
+                    else rng.randrange(200)
+                rows.append((it, node, start, min(span, start + length)))
+                node += 1
+        context = IterContext.from_rows(rows)
+        cand_rows = []
+        for i in range(n_cand):
+            start = rng.randrange(span)
+            cand_rows.append((start, start + rng.randrange(150),
+                              10_000_000 + i))
+        candidates = RegionTable.from_rows(cand_rows)
+        for kernel, fn in _join_kernels(StandoffOp.SELECT_NARROW,
+                                        context, candidates):
+            r.measure(f"active_structure.{kind}", file, kernel,
+                      n_cand, fn)
+
+
+def scenario_global_index(r: Runner) -> None:
+    import random as _random
+
+    file = "bench_ablation_global_index.py"
+    if not r.any_wanted("global_index.query.per_document",
+                        "global_index.query.global",
+                        "global_index.maintenance.per_document",
+                        "global_index.maintenance.global"):
+        return
+    n_docs, per_doc = (5, 800) if r.smoke else (20, 5_000)
+    span = 1_000_000
+    rng = _random.Random(5)
+    collection = {}
+    for frag in range(1, n_docs + 1):
+        entries = [(node_id, start, start + rng.randrange(400))
+                   for node_id in range(per_doc)
+                   for start in (rng.randrange(span),)]
+        collection[frag] = RegionIndex.build(entries)
+    global_index = GlobalRegionIndex(collection)
+    index = collection[1]
+    ids = index.annotated_ids()[:200]
+    context_rows = [(0, 1, int(node_id)) for node_id in ids]
+    context = index.fetch([nid for _it, _frag, nid in context_rows])
+    n = n_docs * per_doc
+    r.measure("global_index.query.per_document", file, LL_LIST, per_doc,
+              lambda: basic_join(StandoffOp.SELECT_WIDE, context,
+                                 index.table))
+    r.measure("global_index.query.global", file, LL_LIST, n,
+              lambda: global_standoff_join(StandoffOp.SELECT_WIDE,
+                                           context_rows, global_index,
+                                           collection))
+    entries = [(i, rng.randrange(span), rng.randrange(span, span + 400))
+               for i in range(per_doc)]
+    r.measure("global_index.maintenance.per_document", file, None,
+              per_doc, lambda: RegionIndex.build(entries))
+    r.measure("global_index.maintenance.global", file, None, n,
+              lambda: GlobalRegionIndex(collection))
+
+
+def scenario_pushdown(r: Runner) -> None:
+    file = "bench_ablation_pushdown.py"
+    if not r.any_wanted(*(f"pushdown.{mode}.sel{sel}"
+                          for mode in ("pushed", "postfilter")
+                          for sel in (0.01, 0.1, 0.5))):
+        return
+    n, n_ctx = (6_000, 100) if r.smoke else (60_000, 500)
+    big_index = synthetic_regions(n, seed=21)
+    context_table = synthetic_regions(n_ctx, span=1_000_000,
+                                      max_len=2_000, seed=22).table
+    for selectivity in (0.01, 0.1, 0.5):
+        ids = big_index.annotated_ids()
+        step = max(1, int(1 / selectivity))
+        wanted = ids[::step]
+        candidates = big_index.candidates(wanted)
+        r.measure(f"pushdown.pushed.sel{selectivity}", file, LL_LIST, n,
+                  lambda candidates=candidates: basic_join(
+                      StandoffOp.SELECT_WIDE, context_table, candidates),
+                  selectivity=selectivity)
+        wanted_set = set(wanted.tolist())
+
+        def post_filter(wanted_set=wanted_set):
+            full = basic_join(StandoffOp.SELECT_WIDE, context_table,
+                              big_index.table)
+            return [nid for nid in full if nid in wanted_set]
+
+        r.measure(f"pushdown.postfilter.sel{selectivity}", file, LL_LIST,
+                  n, post_filter, selectivity=selectivity)
+
+
+def scenario_figure6(r: Runner) -> None:
+    variants = [("udf", "ll"), ("basic", "ll"), ("ll", "ll"),
+                ("ll", "vectorized")]
+    names = [f"figure6.{q}.{s}" + (".vectorized" if k == "vectorized"
+                                   else "")
+             for q in ("q1", "q2", "q6", "q7") for s, k in variants]
+    if not r.any_wanted(*names):
+        return
+    scale = 0.05 if r.smoke else 0.5
+    db, label = build_database(scale)
+    n = len(db.store.get("xmark.xml").region_index())
+    for query_id in ("q1", "q2", "q6", "q7"):
+        file = f"bench_figure6_{query_id}.py"
+        query = query_text(query_id, "xmark.xml", standoff=True)
+        for strategy, kernel in variants:
+            if strategy == "udf":
+                label_kernel = None        # the quadratic baseline
+            else:
+                label_kernel = VECTORIZED if kernel == "vectorized" \
+                    else LL_LIST
+            r.measure(
+                f"figure6.{query_id}.{strategy}"
+                + (".vectorized" if kernel == "vectorized" else ""),
+                file, label_kernel, n,
+                lambda q=query, s=strategy, k=kernel: db.query(
+                    q, strategy=s, kernel=k),
+                strategy=strategy, scale=scale, size=label)
+
+
+def scenario_udf_nocand(r: Runner) -> None:
+    file = "bench_figure6_udf_nocand.py"
+    if not r.any_wanted("udf_nocand.udf_without_candidates",
+                        "udf_nocand.udf_with_candidates",
+                        "udf_nocand.ll_reference"):
+        return
+    scale = 0.02 if r.smoke else 0.05
+    db, label = build_database(scale)
+    n = len(db.store.get("xmark.xml").region_index())
+    nocand = ('for $b in doc("xmark.xml")//site'
+              '/select-narrow::open_auctions\n'
+              '         /select-narrow::open_auction\n'
+              'return count($b/select-narrow::*)')
+    r.measure("udf_nocand.udf_without_candidates", file, None, n,
+              lambda: db.query(nocand, strategy="udf"), scale=scale)
+    query = query_text("q2", "xmark.xml", standoff=True)
+    r.measure("udf_nocand.udf_with_candidates", file, None, n,
+              lambda: db.query(query, strategy="udf"), scale=scale)
+    r.measure("udf_nocand.ll_reference", file, LL_LIST, n,
+              lambda: db.query(nocand, strategy="ll"), scale=scale)
+
+
+def _staircase_workload(scale: float):
+    db, label = build_database(scale)
+    stored = db.store.get("xmark.xml")
+    shredded = stored.shredded
+    index = stored.region_index()
+    auction_pres = shredded.elements_named("open_auction")
+    context_rows = [(it, int(pre))
+                    for it, pre in enumerate(auction_pres.tolist())]
+    candidates = shredded.elements_named("bidder")
+    cand_table = index.candidates(candidates)
+    fetched = index.fetch([pre for _it, pre in context_rows])
+    by_id = {}
+    for s, e, i in zip(fetched.starts.tolist(), fetched.ends.tolist(),
+                       fetched.ids.tolist()):
+        by_id[i] = (s, e)
+    context = IterContext.from_rows(
+        (it, pre, *by_id[pre]) for it, pre in context_rows)
+    return shredded, context_rows, candidates, context, cand_table, label
+
+
+def scenario_staircase(r: Runner) -> dict | None:
+    """§4.6 claim C workload across document scales; returns the
+    summary of the vectorized speedup at the largest size."""
+    file = "bench_staircase_vs_standoff.py"
+    scales = (0.25,) if r.smoke else (0.5, 4.0, 16.0)
+    summary = None
+    for scale in scales:
+        join_name = f"staircase.scale{scale}.select_narrow"
+        stair_name = f"staircase.scale{scale}.descendant_staircase"
+        if not r.any_wanted(join_name, stair_name):
+            continue
+        shredded, context_rows, candidates, context, cand_table, label = \
+            _staircase_workload(scale)
+        n = len(context) + len(cand_table)
+        reference = ll_join(StandoffOp.SELECT_NARROW, context, cand_table)
+        assert vec_join(StandoffOp.SELECT_NARROW, context,
+                        cand_table) == reference, \
+            "vectorized kernel diverged from the reference join"
+        r.measure(stair_name, file, None, n,
+                  lambda: ll_descendant_join(shredded, context_rows,
+                                             candidates),
+                  scale=scale, size=label)
+        timings = {}
+        for kernel, fn in _join_kernels(StandoffOp.SELECT_NARROW,
+                                        context, cand_table):
+            timings[kernel] = r.measure(
+                join_name, file, kernel, n, fn,
+                label=f"{join_name}[{kernel}]", scale=scale, size=label)
+        ll_list = timings.get(LL_LIST, math.inf)
+        vectorized = timings.get(VECTORIZED, math.inf)
+        if math.isfinite(ll_list) and math.isfinite(vectorized) \
+                and vectorized > 0:
+            summary = {
+                "scale": scale, "size": label, "n": int(n),
+                "ll_list_seconds": round(ll_list, 6),
+                "vectorized_seconds": round(vectorized, 6),
+                "speedup": round(ll_list / vectorized, 2),
+            }
+    return summary
+
+
+SCENARIOS = [
+    scenario_region_index,
+    scenario_table_joins,
+    scenario_active_structures,
+    scenario_global_index,
+    scenario_pushdown,
+    scenario_figure6,
+    scenario_udf_nocand,
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks/run_all.py", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads (CI harness check)")
+    parser.add_argument("--only", default=None, metavar="SUBSTR",
+                        help="run only scenarios whose name contains "
+                             "this substring")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed repeats per scenario "
+                             "(default: 3, smoke: 1)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="DNF budget seconds per scenario "
+                             "(default: 120, smoke: 30)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="output JSON path (default: BENCH_PR1.json "
+                             "at the repo root; BENCH_SMOKE.json with "
+                             "--smoke)")
+    parser.add_argument("--pr", default=None, metavar="LABEL",
+                        help="trajectory-point label stamped into the "
+                             "JSON (default: derived from the output "
+                             "file name, e.g. BENCH_PR2.json -> PR2)")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None \
+        else (1 if args.smoke else 3)
+    budget = args.budget if args.budget is not None \
+        else (30.0 if args.smoke else 120.0)
+    out = Path(args.out) if args.out else \
+        _ROOT / ("BENCH_SMOKE.json" if args.smoke else "BENCH_PR1.json")
+    pr_label = args.pr if args.pr else (
+        out.stem[len("BENCH_"):] if out.stem.startswith("BENCH_")
+        else out.stem)
+
+    runner = Runner(smoke=args.smoke, only=args.only,
+                    repeats=repeats, budget=budget)
+    print(f"run_all: smoke={args.smoke} repeats={repeats} "
+          f"budget={budget}s", flush=True)
+    for scenario in SCENARIOS:
+        scenario(runner)
+    staircase_summary = scenario_staircase(runner)
+
+    payload = {
+        "schema": "repro-bench-trajectory/1",
+        "pr": pr_label,
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repeats": repeats,
+        "budget_seconds": budget,
+        "scenarios": runner.records,
+        "summary": {
+            "scenario_count": len(runner.records),
+            "staircase_vectorized_headline": staircase_summary,
+        },
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n",
+                   encoding="utf-8")
+    print(f"\nwrote {len(runner.records)} scenario records to {out}")
+    if staircase_summary:
+        print(f"staircase headline: vectorized {staircase_summary['speedup']}x "
+              f"vs ll-list at scale {staircase_summary['scale']} "
+              f"({staircase_summary['size']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,9 +14,9 @@ Interactive::
     standoff> \quit
 
 Backslash commands: ``\load <uri> [path]``, ``\blob <uri> <path>``,
-``\docs``, ``\strategy udf|basic|ll``, ``\timing on|off``, ``\help``,
-``\quit``.  Everything else is evaluated as a query; results print one
-item per line (nodes serialized as XML).
+``\docs``, ``\strategy udf|basic|ll``, ``\kernel ll|vectorized``,
+``\timing on|off``, ``\help``, ``\quit``.  Everything else is evaluated
+as a query; results print one item per line (nodes serialized as XML).
 """
 
 from __future__ import annotations
@@ -26,6 +26,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.config import DEFAULT_KERNEL, SUPPORTED_KERNELS
 from repro.errors import ReproError
 from repro.xquery.engine import Database
 
@@ -36,6 +37,7 @@ HELP = """\
 \\blob <uri> <path>   register a BLOB file
 \\docs                list stored documents and BLOBs
 \\strategy <name>     set evaluation strategy: udf | basic | ll
+\\kernel <name>       set StandOff join kernel: ll | vectorized
 \\timing on|off       print query wall-clock times
 \\help                this text
 \\quit                exit
@@ -48,6 +50,7 @@ class CliSession:
     def __init__(self, out=None):
         self.db = Database()
         self.strategy = "basic"
+        self.kernel = DEFAULT_KERNEL
         self.timing = False
         self.out = out if out is not None else sys.stdout
         self.done = False
@@ -88,10 +91,19 @@ class CliSession:
         self.strategy = name
         self.emit(f"strategy = {name}")
 
+    def set_kernel(self, name: str) -> None:
+        if name not in SUPPORTED_KERNELS:
+            self.emit(f"unknown kernel {name!r} "
+                      f"(expected {' or '.join(SUPPORTED_KERNELS)})")
+            return
+        self.kernel = name
+        self.emit(f"kernel = {name}")
+
     def run_query(self, text: str) -> None:
         start = time.perf_counter()
         try:
-            result = self.db.query(text, strategy=self.strategy)
+            result = self.db.query(text, strategy=self.strategy,
+                                   kernel=self.kernel)
         except ReproError as error:
             self.emit(f"error: {error}")
             return
@@ -127,6 +139,8 @@ class CliSession:
                 self.list_docs()
             elif command == "strategy" and args:
                 self.set_strategy(args[0])
+            elif command == "kernel" and args:
+                self.set_kernel(args[0])
             elif command == "timing" and args:
                 self.timing = args[0] == "on"
                 self.emit(f"timing = {'on' if self.timing else 'off'}")
@@ -150,10 +164,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="run one query and exit")
     parser.add_argument("--strategy", default="basic",
                         choices=["udf", "basic", "ll"])
+    parser.add_argument("--kernel", default=DEFAULT_KERNEL,
+                        choices=list(SUPPORTED_KERNELS),
+                        help="StandOff join kernel (vectorized = batched "
+                             "NumPy fast path)")
     args = parser.parse_args(argv)
 
     session = CliSession()
     session.strategy = args.strategy
+    session.kernel = args.kernel
     try:
         for path in args.load:
             session.load_document(Path(path).name, path)

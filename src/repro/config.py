@@ -42,6 +42,49 @@ STANDOFF_OPTION_NAMES = frozenset(
 SUPPORTED_TYPES = ("xs:integer", "xs:long", "xs:double", "xs:decimal")
 
 
+# ----------------------------------------------------------------------
+# StandOff join kernel selection
+# ----------------------------------------------------------------------
+
+#: The reference kernel: row-at-a-time loop-lifted merge join
+#: (paper Listing 1; ``list`` or ``heap`` active-items structure).
+KERNEL_LL = "ll"
+
+#: The batched NumPy kernel (:mod:`repro.core.kernels_vec`): windowed
+#: ``searchsorted`` pruning over the start-clustered candidate table plus
+#: segmented prefix-max containment/overlap tests.
+KERNEL_VECTORIZED = "vectorized"
+
+SUPPORTED_KERNELS = (KERNEL_LL, KERNEL_VECTORIZED)
+
+DEFAULT_KERNEL = KERNEL_LL
+
+
+def validate_kernel(name: str) -> str:
+    """Check *name* against :data:`SUPPORTED_KERNELS`.
+
+    :raises ValueError: for unknown kernel names.
+    """
+    if name not in SUPPORTED_KERNELS:
+        raise ValueError(
+            f"unknown join kernel {name!r}; expected one of "
+            f"{list(SUPPORTED_KERNELS)}")
+    return name
+
+
+def resolve_kernel(name: str, *, tracing: bool = False) -> str:
+    """Validate *name* and resolve the effective kernel.
+
+    Trace sinks observe the row-at-a-time merge (add/replace/trim/emit
+    events of Listing 1), which the batched kernel does not produce, so
+    tracing always falls back to the reference ``ll`` kernel.
+    """
+    validate_kernel(name)
+    if tracing:
+        return KERNEL_LL
+    return name
+
+
 @dataclass(frozen=True)
 class StandoffConfig:
     """Runtime settings for locating region information on elements.

@@ -11,6 +11,9 @@ This package is the paper's primary contribution in library form:
 * :mod:`~repro.core.naive` — quadratic reference joins (Figures 2/3);
 * :mod:`~repro.core.mergejoin_basic` / :mod:`~repro.core.mergejoin_ll` —
   the Basic and Loop-Lifted StandOff MergeJoin families (§4.4, §4.5);
+* :mod:`~repro.core.kernels_vec` — the batched NumPy kernels for the
+  loop-lifted joins (``kernel="vectorized"``), with
+  :func:`~repro.core.kernels_vec.kernel_join` as the kernel dispatcher;
 * :func:`~repro.core.steps.standoff_step` — step-level execution with
   fragment partitioning, selection pushdown and strategy choice (§3.3).
 """
@@ -21,6 +24,14 @@ from repro.core.mergejoin_basic import (
     reject_wide,
     select_narrow,
     select_wide,
+)
+from repro.core.kernels_vec import (
+    kernel_join,
+    vec_join,
+    vec_reject_narrow,
+    vec_reject_wide,
+    vec_select_narrow,
+    vec_select_wide,
 )
 from repro.core.mergejoin_ll import (
     IterContext,
@@ -70,6 +81,12 @@ __all__ = [
     "ll_select_wide",
     "ll_reject_narrow",
     "ll_reject_wide",
+    "kernel_join",
+    "vec_join",
+    "vec_select_narrow",
+    "vec_select_wide",
+    "vec_reject_narrow",
+    "vec_reject_wide",
     "Strategy",
     "standoff_step",
 ]

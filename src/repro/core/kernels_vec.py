@@ -1,0 +1,430 @@
+"""Vectorized StandOff join kernels (batched NumPy implementation).
+
+The loop-lifted merge joins in :mod:`repro.core.mergejoin_ll` execute the
+paper's Listing 1 as an interpreted row-at-a-time merge; this module
+implements the same four joins as *batched* column operations so the hot
+path runs at the speed the columnar ``start|end|id`` layout already
+supports:
+
+* the context is segmented per iteration (the ``iter`` column is the
+  loop-lifting dimension); the segmentation and the per-segment running
+  ``max(end)`` — exactly the quantity the active-items structure of
+  Listing 1 maintains — are computed once per context and cached on it;
+* per iteration, only a ``searchsorted`` **window** of the
+  start-clustered candidate table is probed (candidates starting outside
+  ``[first context start, max context end]`` can never match), so total
+  work tracks the number of plausible (iteration, candidate) pairs
+  instead of ``iterations x candidates``;
+* containment/overlap are boolean-mask tests of candidate endpoints
+  against segmented prefix maxima.
+
+Semantics are identical to :func:`repro.core.mergejoin_ll.ll_join` — the
+differential suite (``tests/test_kernels_differential.py``) asserts
+``vectorized == list == heap == naive`` on randomized workloads.  The
+reference path is kept both as the oracle and as the fallback: trace
+sinks (which observe Listing 1's add/replace/trim/emit events) and
+pathological inputs whose candidate windows would materialize too many
+pairs are delegated to ``ll_join``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import KERNEL_VECTORIZED, resolve_kernel
+from repro.core.mergejoin_ll import (
+    IterContext,
+    JoinResult,
+    TraceSink,
+    ll_join,
+)
+from repro.core.naive import StandoffOp
+from repro.core.region_index import RegionTable
+
+#: Upper bound on materialized (iteration, candidate) probe pairs; above
+#: this the kernel delegates to the row-at-a-time reference join rather
+#: than risk a multi-gigabyte intermediate (quadratic overlap blowup).
+PAIR_BUDGET = 32_000_000
+
+#: Composite-key headroom: offset tricks stay inside int64.
+_INT64_BUDGET = 2 ** 62
+
+
+class _PairBudgetExceeded(Exception):
+    """Raised internally when window expansion would exceed PAIR_BUDGET."""
+
+
+# ----------------------------------------------------------------------
+# segmented primitives
+# ----------------------------------------------------------------------
+
+def _boundaries(sorted_vals: np.ndarray) -> np.ndarray:
+    """Start offsets of the runs of equal values in a sorted array."""
+    return np.concatenate(
+        ([0], np.flatnonzero(sorted_vals[1:] != sorted_vals[:-1]) + 1))
+
+
+def _segment_ids(n: int, seg_off: np.ndarray) -> np.ndarray:
+    """Segment ordinal per position, given segment start offsets."""
+    ids = np.zeros(n, np.int64)
+    ids[seg_off[1:]] = 1
+    np.cumsum(ids, out=ids)
+    return ids
+
+
+def _segmented_cummax(values: np.ndarray, seg_off: np.ndarray,
+                      seg_end: np.ndarray) -> np.ndarray:
+    """Per-segment running maximum (prefix max restarting at seg_off)."""
+    if len(seg_off) == 1:
+        return np.maximum.accumulate(values)
+    if len(seg_off) == len(values):          # all segments of length one
+        return values
+    if values.dtype.kind in "iu":
+        vmin = int(values.min())
+        span = int(values.max()) - vmin + 1
+        if len(seg_off) * span < _INT64_BUDGET:
+            base = _segment_ids(len(values), seg_off) * span
+            comp = values.astype(np.int64, copy=True)
+            comp -= vmin
+            comp += base
+            np.maximum.accumulate(comp, out=comp)
+            comp -= base
+            comp += vmin
+            return comp
+    out = np.empty_like(values)
+    for a, b in zip(seg_off.tolist(), seg_end.tolist()):
+        np.maximum.accumulate(values[a:b], out=out[a:b])
+    return out
+
+
+class _Segments:
+    """Per-iteration segmentation of a context (see _context_segments)."""
+
+    __slots__ = ("uniq_iters", "seg_off", "seg_end", "starts", "ends",
+                 "cummax", "first_order", "first_sorted", "maxend_order",
+                 "maxend_sorted")
+
+    def __init__(self, context: IterContext):
+        order = np.argsort(context.iters, kind="stable")
+        its = context.iters[order]
+        self.starts = cs = context.starts[order]
+        self.ends = ce = context.ends[order]
+        self.seg_off = _boundaries(its)
+        self.seg_end = np.append(self.seg_off[1:], len(its))
+        self.uniq_iters = its[self.seg_off]
+        self.cummax = _segmented_cummax(ce, self.seg_off, self.seg_end)
+        # The candidate windows are found by searchsorted probes with the
+        # per-segment first start / max end; binary search degrades ~3x
+        # on unsorted probes, so pre-sort them once (results are
+        # scattered back through the inverse permutation per join call).
+        first = cs[self.seg_off]
+        maxend = self.cummax[self.seg_end - 1]
+        self.first_order = np.argsort(first, kind="stable")
+        self.first_sorted = first[self.first_order]
+        self.maxend_order = np.argsort(maxend, kind="stable")
+        self.maxend_sorted = maxend[self.maxend_order]
+
+
+def _context_segments(context: IterContext) -> _Segments:
+    """Segment a context per iteration, cached on the context.
+
+    Rows are sorted by ``(iter, start)``; ``cummax`` is the segmented
+    prefix maximum of ``end`` — exactly the quantity Listing 1's
+    active-items structure tracks.  The cache is sound because
+    :class:`IterContext` is frozen; it plays the role the
+    start-clustered index plays for the candidate side.
+    """
+    cached = context.__dict__.get("_vec_segments")
+    if cached is None:
+        cached = _Segments(context)
+        object.__setattr__(context, "_vec_segments", cached)
+    return cached
+
+
+def _segmented_searchsorted(values: np.ndarray, seg_off: np.ndarray,
+                            seg_end: np.ndarray, probes: np.ndarray,
+                            seg_of_probe: np.ndarray,
+                            probe_bounds: np.ndarray) -> np.ndarray:
+    """Per-segment ``searchsorted(..., side="right")`` in global indices.
+
+    ``values`` is sorted within each segment; ``probes`` are grouped by
+    segment (``probe_bounds`` delimits each segment's probe slice, which
+    lets the generic path slice instead of mask).  Integer inputs take a
+    single global ``searchsorted`` over composite ``segment * span +
+    value`` keys.
+    """
+    nseg = len(seg_off)
+    if nseg == 1:
+        return np.searchsorted(values, probes, side="right")
+    if values.dtype.kind in "iu" and probes.dtype.kind in "iu":
+        vmin = int(min(values.min(), probes.min()))
+        span = int(max(values.max(), probes.max())) - vmin + 2
+        if nseg * span < _INT64_BUDGET:
+            comp_v = values.astype(np.int64, copy=True)
+            comp_v -= vmin
+            comp_v += _segment_ids(len(values), seg_off) * span
+            comp_p = probes.astype(np.int64, copy=True)
+            comp_p -= vmin
+            comp_p += seg_of_probe * span
+            return np.searchsorted(comp_v, comp_p, side="right")
+    out = np.empty(len(probes), np.int64)
+    pb = probe_bounds.tolist()
+    for s, (a, b) in enumerate(zip(seg_off.tolist(), seg_end.tolist())):
+        pa, pz = pb[s], pb[s + 1]
+        if pa < pz:
+            out[pa:pz] = a + np.searchsorted(values[a:b], probes[pa:pz],
+                                             side="right")
+    return out
+
+
+def _expand_windows(j0: np.ndarray, j1: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Materialize per-segment candidate windows ``[j0, j1)`` as flat
+    (segment-of-pair, candidate-row-of-pair) arrays plus pair bounds."""
+    counts = j1 - j0
+    total = int(counts.sum())
+    if total > PAIR_BUDGET:
+        raise _PairBudgetExceeded
+    offs = np.concatenate(([0], np.cumsum(counts)))
+    seg_of_pair = np.repeat(np.arange(len(j0)), counts)
+    pair_j = np.arange(total) - np.repeat(offs[:-1] - j0, counts)
+    return seg_of_pair, pair_j, offs
+
+
+def _pairs_to_result(iter_vals: np.ndarray, cand_ids: np.ndarray, *,
+                     presorted: bool = False, unique: bool = False
+                     ) -> JoinResult:
+    """Group matched ``(iter, candidate id)`` pairs into the canonical
+    result: unique ids per iteration, ascending (= document) order."""
+    if len(iter_vals) == 0:
+        return {}
+    if not presorted:
+        order = np.lexsort((cand_ids, iter_vals))
+        iter_vals = iter_vals[order]
+        cand_ids = cand_ids[order]
+    if not unique:
+        keep = np.empty(len(iter_vals), bool)
+        keep[0] = True
+        np.logical_or(iter_vals[1:] != iter_vals[:-1],
+                      cand_ids[1:] != cand_ids[:-1], out=keep[1:])
+        iter_vals = iter_vals[keep]
+        cand_ids = cand_ids[keep]
+    first = _boundaries(iter_vals)
+    bounds = np.append(first, len(iter_vals)).tolist()
+    ids_list = cand_ids.tolist()
+    return {it: ids_list[a:b]
+            for it, a, b in zip(iter_vals[first].tolist(),
+                                bounds[:-1], bounds[1:])}
+
+
+# ----------------------------------------------------------------------
+# semi-joins
+# ----------------------------------------------------------------------
+
+def _select_pairs(context: IterContext, candidates: RegionTable, *,
+                  wide: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Matched ``(iter value, candidate id)`` pairs for a semi-join.
+
+    ``wide=False`` (containment): candidate ``[ks, ke]`` matches an
+    iteration iff some context region of that iteration has
+    ``start <= ks and end >= ke`` — i.e. the segmented prefix max of
+    ``end`` over context rows with ``start <= ks`` reaches ``ke``.
+    ``wide=True`` (overlap, inclusive bounds): the prefix runs over
+    context rows with ``start <= ke`` and must reach ``ks``.
+    """
+    seg = _context_segments(context)
+    nseg = len(seg.uniq_iters)
+    cs, ce = seg.starts, seg.ends
+
+    ks, ke, kid = candidates.starts, candidates.ends, candidates.ids
+    # Window pruning on the start-clustered candidate table: only
+    # candidates starting in (roughly) [first context start, max context
+    # end] can satisfy the predicate against this iteration.  Probes go
+    # through the cached sort order (sorted probes keep the binary
+    # search cache-friendly) and scatter back.
+    lo_probes = seg.first_sorted
+    if wide:
+        lo_probes = lo_probes - candidates.max_length()
+    j0 = np.empty(nseg, np.int64)
+    j0[seg.first_order] = np.searchsorted(ks, lo_probes, side="left")
+    j1 = np.empty(nseg, np.int64)
+    j1[seg.maxend_order] = np.searchsorted(ks, seg.maxend_sorted,
+                                           side="right")
+    j1 = np.maximum(j0, j1)
+    seg_of_pair, pair_j, offs = _expand_windows(j0, j1)
+    if len(pair_j) == 0:
+        return (np.empty(0, seg.uniq_iters.dtype), np.empty(0, kid.dtype))
+    if wide:
+        probe, lower = ke[pair_j], ks[pair_j]
+    else:
+        probe, lower = ks[pair_j], ke[pair_j]
+    if nseg == len(cs):
+        # One context row per iteration (the common `for $x in ...`
+        # shape): the prefix max *is* the row, no position search needed.
+        match = cs[seg_of_pair] <= probe
+        match &= ce[seg_of_pair] >= lower
+    else:
+        pos = _segmented_searchsorted(cs, seg.seg_off, seg.seg_end,
+                                      probe, seg_of_pair, offs)
+        match = pos > seg.seg_off[seg_of_pair]
+        match &= seg.cummax[np.maximum(pos - 1, 0)] >= lower
+    return seg.uniq_iters[seg_of_pair[match]], kid[pair_j[match]]
+
+
+def _narrow_multi_region(context: IterContext,
+                         candidates: RegionTable) -> JoinResult:
+    """∀-quantified containment for multi-region candidate areas.
+
+    Mirrors :func:`repro.core.mergejoin_ll._narrow_multi_region`:
+    region-level containment events are counted per
+    ``(iteration, context area, candidate id)`` and a candidate matches
+    when some single context area accounts for *all* of its regions.
+    """
+    cs, ce = context.starts, context.ends
+    # Pair expansion is context-row-centric here: a context region
+    # [cs, ce] can only contain candidate regions starting inside it.
+    j0 = np.searchsorted(candidates.starts, cs, side="left")
+    j1 = np.searchsorted(candidates.starts, ce, side="right")
+    j1 = np.maximum(j0, j1)
+    ctx_of_pair, pair_j, _offs = _expand_windows(j0, j1)
+    if len(pair_j):
+        contained = candidates.ends[pair_j] <= ce[ctx_of_pair]
+        ctx_of_pair = ctx_of_pair[contained]
+        pair_j = pair_j[contained]
+    if len(pair_j) == 0:
+        return {}
+    # Ordinal per context *area* (iter, ctx id) — several regions of one
+    # area share an ordinal; lexsort-based so arbitrary id ranges work.
+    order = np.lexsort((context.ids, context.iters))
+    its_s = context.iters[order]
+    cid_s = context.ids[order]
+    new_area = np.empty(len(order), bool)
+    new_area[0] = True
+    np.logical_or(its_s[1:] != its_s[:-1], cid_s[1:] != cid_s[:-1],
+                  out=new_area[1:])
+    area_ord = np.empty(len(order), np.int64)
+    area_ord[order] = np.cumsum(new_area) - 1
+    area_iter = its_s[new_area]
+
+    uniq_ids, inv_ids, id_counts = np.unique(
+        candidates.ids, return_inverse=True, return_counts=True)
+    n_ids = len(uniq_ids)
+    # Count containment events per (area, candidate id) and keep the
+    # (iteration, candidate) pairs whose count reaches the candidate's
+    # region multiplicity.
+    events = area_ord[ctx_of_pair] * n_ids + inv_ids[pair_j]
+    uniq_ev, ev_counts = np.unique(events, return_counts=True)
+    ev_area, ev_id = np.divmod(uniq_ev, n_ids)
+    full = ev_counts == id_counts[ev_id]
+    return _pairs_to_result(area_iter[ev_area[full]], uniq_ids[ev_id[full]])
+
+
+def vec_select_narrow(context: IterContext, candidates: RegionTable,
+                      ) -> JoinResult:
+    """Vectorized containment semi-join (batched Listing 1)."""
+    if len(context) == 0 or len(candidates) == 0:
+        return {}
+    try:
+        if not candidates.has_multi_region_areas():
+            # Each (iteration, candidate) pair is probed exactly once and
+            # candidate ids are unique, so no dedup pass is needed.
+            return _pairs_to_result(
+                *_select_pairs(context, candidates, wide=False),
+                unique=True)
+        return _narrow_multi_region(context, candidates)
+    except _PairBudgetExceeded:
+        return ll_join(StandoffOp.SELECT_NARROW, context, candidates)
+
+
+def vec_select_wide(context: IterContext, candidates: RegionTable,
+                    ) -> JoinResult:
+    """Vectorized overlap semi-join (∃∃ over regions, any multiplicity)."""
+    if len(context) == 0 or len(candidates) == 0:
+        return {}
+    try:
+        return _pairs_to_result(
+            *_select_pairs(context, candidates, wide=True))
+    except _PairBudgetExceeded:
+        return ll_join(StandoffOp.SELECT_WIDE, context, candidates)
+
+
+# ----------------------------------------------------------------------
+# anti-joins
+# ----------------------------------------------------------------------
+
+def _complement(selected: JoinResult, iterations: list[int],
+                universe: np.ndarray) -> JoinResult:
+    """Per-iteration complement over the (sorted, unique) universe."""
+    universe_list = universe.tolist()
+    out: JoinResult = {}
+    for it in iterations:
+        matched = selected.get(it)
+        if matched:
+            out[it] = np.setdiff1d(universe, matched,
+                                   assume_unique=True).tolist()
+        else:
+            out[it] = list(universe_list)
+    return out
+
+
+def vec_reject_narrow(context: IterContext, candidates: RegionTable,
+                      ) -> JoinResult:
+    """Vectorized containment anti-join."""
+    if len(context) == 0:
+        return {}
+    return _complement(vec_select_narrow(context, candidates),
+                       context.iterations(), candidates.unique_ids())
+
+
+def vec_reject_wide(context: IterContext, candidates: RegionTable,
+                    ) -> JoinResult:
+    """Vectorized overlap anti-join."""
+    if len(context) == 0:
+        return {}
+    return _complement(vec_select_wide(context, candidates),
+                       context.iterations(), candidates.unique_ids())
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+
+_VEC_DISPATCH = {
+    StandoffOp.SELECT_NARROW: vec_select_narrow,
+    StandoffOp.SELECT_WIDE: vec_select_wide,
+    StandoffOp.REJECT_NARROW: vec_reject_narrow,
+    StandoffOp.REJECT_WIDE: vec_reject_wide,
+}
+
+
+def vec_join(op: StandoffOp, context: IterContext,
+             candidates: RegionTable, *,
+             active_structure: str = "list",
+             trace: TraceSink | None = None) -> JoinResult:
+    """Dispatch a vectorized StandOff join by operator.
+
+    Signature-compatible with :func:`~repro.core.mergejoin_ll.ll_join`;
+    a trace sink forces the reference path (the batched kernel has no
+    per-row events to report).
+    """
+    if trace is not None:
+        return ll_join(op, context, candidates,
+                       active_structure=active_structure, trace=trace)
+    return _VEC_DISPATCH[op](context, candidates)
+
+
+def kernel_join(op: StandoffOp, context: IterContext,
+                candidates: RegionTable, *,
+                kernel: str = "ll",
+                active_structure: str = "list",
+                trace: TraceSink | None = None) -> JoinResult:
+    """Run a loop-lifted StandOff join under the selected kernel.
+
+    ``kernel`` is ``"ll"`` (reference merge) or ``"vectorized"``; tracing
+    auto-falls back to ``ll`` (see :func:`repro.config.resolve_kernel`).
+    """
+    kernel = resolve_kernel(kernel, tracing=trace is not None)
+    if kernel == KERNEL_VECTORIZED:
+        return vec_join(op, context, candidates)
+    return ll_join(op, context, candidates,
+                   active_structure=active_structure, trace=trace)

@@ -74,18 +74,31 @@ class IterContext:
 
         Exact duplicate rows are dropped: a repeated (iter, node, region)
         is semantically idempotent but would double-count in the
-        ∀-quantified multi-region containment pass.
+        ∀-quantified multi-region containment pass.  Sort, validation
+        and dedup are all columnar (``np.lexsort`` + adjacency masks).
         """
-        rows = sorted(set(map(tuple, rows)),
-                      key=lambda r: (r[2], r[3], r[0], r[1]))
+        rows = list(rows)
         if not rows:
             empty = np.empty(0, np.int64)
             return cls(empty, empty.copy(), empty.copy(), empty.copy())
         it, ids, st, en = zip(*rows)
-        if any(s > e for s, e in zip(st, en)):
+        it = np.asarray(it, np.int64)
+        ids = np.asarray(ids, np.int64)
+        st = np.asarray(st)
+        en = np.asarray(en)
+        if np.any(st > en):
             raise RegionError("context contains a region with start > end")
-        return cls(np.asarray(it, np.int64), np.asarray(ids, np.int64),
-                   np.asarray(st), np.asarray(en))
+        order = np.lexsort((ids, it, en, st))
+        it, ids, st, en = it[order], ids[order], st[order], en[order]
+        if len(rows) > 1:
+            keep = np.empty(len(rows), bool)
+            keep[0] = True
+            np.logical_or.reduce(
+                [it[1:] != it[:-1], ids[1:] != ids[:-1],
+                 st[1:] != st[:-1], en[1:] != en[:-1]], out=keep[1:])
+            if not keep.all():
+                it, ids, st, en = it[keep], ids[keep], st[keep], en[keep]
+        return cls(it, ids, st, en)
 
     @classmethod
     def single(cls, table: RegionTable, iteration: int = 0) -> "IterContext":

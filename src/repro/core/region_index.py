@@ -34,7 +34,7 @@ class RegionTable:
     ``RegionTable`` instances.
     """
 
-    __slots__ = ("starts", "ends", "ids")
+    __slots__ = ("starts", "ends", "ids", "_meta")
 
     def __init__(self, starts: np.ndarray, ends: np.ndarray,
                  ids: np.ndarray, *, presorted: bool = False):
@@ -57,6 +57,9 @@ class RegionTable:
         self.starts = starts
         self.ends = ends
         self.ids = ids
+        #: lazily computed column metadata (the table is immutable, so
+        #: derived values are cached: unique ids, max region length)
+        self._meta: dict = {}
 
     def __len__(self) -> int:
         return len(self.starts)
@@ -77,9 +80,13 @@ class RegionTable:
                 int(self.ids[i]))
 
     def iter_rows(self) -> Iterable[tuple]:
-        """Yield ``(start, end, id)`` triples in clustering order."""
-        for i in range(len(self)):
-            yield self.row(i)
+        """Yield ``(start, end, id)`` triples in clustering order.
+
+        Columns are converted to Python scalars in one batch (per-row
+        ``.item()`` calls are an order of magnitude slower).
+        """
+        return zip(self.starts.tolist(), self.ends.tolist(),
+                   self.ids.tolist())
 
     @classmethod
     def from_rows(cls, rows: Iterable[tuple]) -> "RegionTable":
@@ -113,6 +120,31 @@ class RegionTable:
         """Map node id -> number of regions (for ∀-quantified containment)."""
         uniq, counts = np.unique(self.ids, return_counts=True)
         return {int(i): int(c) for i, c in zip(uniq, counts)}
+
+    def unique_ids(self) -> np.ndarray:
+        """Sorted unique node ids; cached (the table is immutable)."""
+        cached = self._meta.get("unique_ids")
+        if cached is None:
+            cached = np.unique(self.ids)
+            self._meta["unique_ids"] = cached
+        return cached
+
+    def has_multi_region_areas(self) -> bool:
+        """True when some node id occurs in more than one row."""
+        return len(self.unique_ids()) < len(self)
+
+    def max_length(self):
+        """The largest ``end - start`` over all rows; cached.
+
+        Bounds the candidate windows of the vectorized overlap kernel: a
+        region can only overlap candidates starting at most this far
+        before it.
+        """
+        cached = self._meta.get("max_length")
+        if cached is None:
+            cached = (self.ends - self.starts).max() if len(self) else 0
+            self._meta["max_length"] = cached
+        return cached
 
 
 class RegionIndex:
@@ -174,17 +206,17 @@ class RegionIndex:
         mask = self._table.ids == node_id
         if not mask.any():
             return None
-        regions = [Region(s.item(), e.item())
-                   for s, e in zip(self._table.starts[mask],
-                                   self._table.ends[mask])]
+        regions = [Region(s, e)
+                   for s, e in zip(self._table.starts[mask].tolist(),
+                                   self._table.ends[mask].tolist())]
         return Area(regions)
 
     def annotated_ids(self) -> np.ndarray:
         """Sorted unique node ids that carry at least one region."""
-        return np.unique(self._table.ids)
+        return self._table.unique_ids()
 
     def has_multi_region_areas(self) -> bool:
         """True when any node id occurs more than once in the index."""
         if len(self._table) == 0:
             return False
-        return len(self.annotated_ids()) < len(self._table)
+        return self._table.has_multi_region_areas()

@@ -27,8 +27,12 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
+from repro.config import DEFAULT_KERNEL, KERNEL_VECTORIZED, validate_kernel
+from repro.core.kernels_vec import kernel_join, vec_join
 from repro.core.mergejoin_basic import basic_join
-from repro.core.mergejoin_ll import IterContext, JoinResult, ll_join
+from repro.core.mergejoin_ll import IterContext, JoinResult
 from repro.core.naive import StandoffOp, naive_join_loop
 from repro.core.region_index import RegionIndex
 
@@ -60,6 +64,7 @@ def standoff_step(op: StandoffOp,
                   *,
                   strategy: Strategy = Strategy.LOOP_LIFTED,
                   active_structure: str = "list",
+                  kernel: str = DEFAULT_KERNEL,
                   ) -> dict[int, list[tuple[int, int]]]:
     """Execute one StandOff step.
 
@@ -75,9 +80,14 @@ def standoff_step(op: StandoffOp,
     :param strategy: evaluation strategy (see module docstring).
     :param active_structure: ``"list"`` or ``"heap"`` active-items
         structure for the merge joins.
+    :param kernel: join kernel for the merge strategies — ``"ll"``
+        (row-at-a-time reference merge) or ``"vectorized"`` (batched
+        NumPy kernels, :mod:`repro.core.kernels_vec`).  The ``udf``
+        strategy ignores the kernel (it *is* the quadratic baseline).
     :returns: ``iter -> [(fragment, node_id), ...]`` unique, in document
         order (fragment id, then node id ascending = pre-order).
     """
+    validate_kernel(kernel)
     per_fragment: dict[int, list[tuple[int, int]]] = {}
     for iteration, fragment, node_id in context:
         per_fragment.setdefault(fragment, []).append((iteration, node_id))
@@ -95,7 +105,8 @@ def standoff_step(op: StandoffOp,
                 continue
             candidates = index.candidates(wanted)
         frag_result = _run_fragment(op, per_fragment[fragment], index,
-                                    candidates, strategy, active_structure)
+                                    candidates, strategy, active_structure,
+                                    kernel)
         for iteration, ids in frag_result.items():
             merged.setdefault(iteration, []).extend(
                 (fragment, nid) for nid in ids)
@@ -107,7 +118,8 @@ def standoff_step(op: StandoffOp,
 
 def _run_fragment(op: StandoffOp, pairs: list[tuple[int, int]],
                   index: RegionIndex, candidates,
-                  strategy: Strategy, active_structure: str) -> JoinResult:
+                  strategy: Strategy, active_structure: str,
+                  kernel: str) -> JoinResult:
     """Run one fragment's join under the chosen strategy."""
     if strategy is Strategy.UDF:
         context_rows = []
@@ -128,8 +140,16 @@ def _run_fragment(op: StandoffOp, pairs: list[tuple[int, int]],
             fetched = index.fetch(ids)
             if len(fetched) == 0:
                 continue
-            out[iteration] = basic_join(op, fetched, candidates,
-                                        active_structure=active_structure)
+            if kernel == KERNEL_VECTORIZED:
+                # Basic == loop-lifted restricted to one iteration, so
+                # the batched kernel applies per iteration as well.
+                single = IterContext.single(fetched, iteration)
+                out[iteration] = vec_join(op, single,
+                                          candidates).get(iteration, [])
+            else:
+                out[iteration] = basic_join(
+                    op, fetched, candidates,
+                    active_structure=active_structure)
         return out
 
     distinct = sorted({node_id for _iteration, node_id in pairs})
@@ -144,15 +164,11 @@ def _run_fragment(op: StandoffOp, pairs: list[tuple[int, int]],
         for start, end in regions_by_id.get(node_id, ()):
             rows.append((iteration, node_id, start, end))
     context = IterContext.from_rows(rows)
-    return ll_join(op, context, candidates,
-                   active_structure=active_structure)
+    return kernel_join(op, context, candidates, kernel=kernel,
+                       active_structure=active_structure)
 
 
 def _unique_ids(candidates) -> list[int]:
-    seen: set[int] = set()
-    out: list[int] = []
-    for nid in candidates.ids.tolist():
-        if nid not in seen:
-            seen.add(nid)
-            out.append(nid)
-    return out
+    """Candidate ids, first-occurrence (= start-cluster) order preserved."""
+    _uniq, first = np.unique(candidates.ids, return_index=True)
+    return candidates.ids[np.sort(first)].tolist()

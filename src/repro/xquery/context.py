@@ -5,7 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.config import STANDOFF_OPTION_NAMES, StandoffConfig
+from repro.config import DEFAULT_KERNEL, STANDOFF_OPTION_NAMES, \
+    StandoffConfig
 from repro.core.region_index import RegionIndex
 from repro.core.steps import Strategy
 from repro.errors import XQueryDynamicError, XQueryStaticError
@@ -82,7 +83,8 @@ class DynamicContext:
                  static: StaticContext | None = None,
                  strategy: Strategy = Strategy.BASIC,
                  active_structure: str = "list",
-                 blobs=None):
+                 blobs=None,
+                 kernel: str = DEFAULT_KERNEL):
         from repro.xmldb.blob import BlobStore
 
         self.store = store
@@ -90,6 +92,8 @@ class DynamicContext:
         self.static = static or StaticContext()
         self.strategy = strategy
         self.active_structure = active_structure
+        #: StandOff join kernel: "ll" | "vectorized"
+        self.kernel = kernel
         #: name-test pushdown policy: "always" | "never" | "auto"
         self.pushdown = "always"
         self.variables: dict[str, Sequence] = {}
@@ -111,6 +115,7 @@ class DynamicContext:
         ctx.static = self.static
         ctx.strategy = self.strategy
         ctx.active_structure = self.active_structure
+        ctx.kernel = self.kernel
         ctx.pushdown = self.pushdown
         ctx.variables = dict(self.variables)
         ctx.focus = self.focus

@@ -23,6 +23,7 @@ Example::
 
 from __future__ import annotations
 
+from repro.config import DEFAULT_KERNEL, validate_kernel
 from repro.core.steps import Strategy
 from repro.errors import XQueryTypeError
 from repro.xmldb.dom import Node
@@ -115,6 +116,7 @@ class Database:
     def query(self, text: str, *, strategy: str = "basic",
               active_structure: str = "list",
               pushdown: str = "always",
+              kernel: str = DEFAULT_KERNEL,
               context_uri: str | None = None,
               variables: dict | None = None) -> QueryResult:
         """Parse and evaluate a query.
@@ -127,6 +129,8 @@ class Database:
             ``always`` (the builtin-function behaviour), ``never``
             (post-filter) or ``auto`` (skip pushdown for non-selective
             tests; the §3.3 (iii) optimizer choice).
+        :param kernel: StandOff join kernel — ``ll`` (row-at-a-time
+            reference merge) or ``vectorized`` (batched NumPy kernels).
         :param context_uri: optional document whose root becomes the
             initial context item (so relative paths like ``//a`` work
             without ``doc(...)``).
@@ -145,8 +149,9 @@ class Database:
             raise ValueError(
                 f"unknown pushdown policy {pushdown!r}; expected "
                 "'always', 'never' or 'auto'")
+        validate_kernel(kernel)
         ctx = DynamicContext(self.store, static, strat, active_structure,
-                             blobs=self.blobs)
+                             blobs=self.blobs, kernel=kernel)
         ctx.pushdown = pushdown
         if variables:
             for name, value in variables.items():

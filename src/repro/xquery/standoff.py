@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config import DEFAULT_KERNEL, KERNEL_LL
 from repro.core.naive import StandoffOp
 from repro.core.steps import Strategy, standoff_step
 from repro.errors import XQueryTypeError
@@ -112,16 +113,20 @@ def _run(ctx: DynamicContext, op: StandoffOp,
                   else indexes[key].annotated_ids())
             for key, cand in candidates_by_fragment.items()}
     strategy = ctx.strategy
-    if strategy is Strategy.LOOP_LIFTED and \
+    kernel = getattr(ctx, "kernel", DEFAULT_KERNEL)
+    if strategy is Strategy.LOOP_LIFTED and kernel == KERNEL_LL and \
             len({it for it, _f, _n in iter_rows}) <= 1:
         # A single iteration: basic and loop-lifted coincide; use the
         # basic code path (the tree-walking evaluator's situation).
+        # The vectorized kernel keeps the loop-lifted path so single
+        # iterations also hit the batched join.
         strategy = Strategy.BASIC
     ctx.count_standoff_join()
     raw = standoff_step(op, iter_rows, indexes,
                         candidate_map,
                         strategy=strategy,
-                        active_structure=ctx.active_structure)
+                        active_structure=ctx.active_structure,
+                        kernel=kernel)
     ordered_fragments = sorted(
         context_by_fragment,
         key=lambda key: context_by_fragment[key][0].sort_rank())
