@@ -11,14 +11,26 @@ emits a machine-readable trajectory file::
 
 Each scenario record carries ``scenario`` (dotted name), ``file`` (the
 bench_*.py it mirrors), ``kernel`` (``ll-list`` | ``ll-heap`` |
-``vectorized`` | ``null`` for non-join scenarios), ``n`` (workload
-size), ``seconds`` (median wall time; ``null`` + ``dnf: true`` on
-budget overrun) and ``repeats``.  The staircase-vs-standoff scenario
-sweeps document scales; the summary block records the vectorized-kernel
-speedup at the largest size — the perf-trajectory headline.
+``vectorized`` | ``auto`` | ``null`` for non-join scenarios), ``n``
+(workload size), ``seconds`` (median wall time; ``null`` + ``dnf:
+true`` on budget overrun) and ``repeats``.  The staircase-vs-standoff
+scenario sweeps document scales; the summary block records the
+vectorized-kernel speedup at the largest size — the perf-trajectory
+headline.
 
-Output defaults to ``BENCH_PR1.json`` (``BENCH_SMOKE.json`` with
+Output defaults to ``BENCH_PR2.json`` (``BENCH_SMOKE.json`` with
 ``--smoke``) at the repository root.
+
+**Trajectory comparison**: a full run whose label is ``PR<k>`` is
+automatically diffed against the committed ``BENCH_PR<k-1>.json``
+(override with ``--baseline PATH``, disable with ``--baseline none``).
+Missing ``scenario``/``kernel`` keys and *new* DNFs fail the run
+(exit 1); per-key speedup ratios are reported.  ``--compare PATH``
+skips running entirely and just diffs an existing trajectory file —
+the CI guard for committed trajectory points::
+
+    python benchmarks/run_all.py --compare BENCH_PR2.json \
+        --baseline BENCH_PR1.json
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ import argparse
 import json
 import math
 import platform
+import re
 import sys
 from pathlib import Path
 
@@ -46,6 +59,7 @@ from repro.core import (                                  # noqa: E402
     RegionTable,
     StandoffOp,
     basic_join,
+    kernel_join,
     ll_join,
     vec_join,
 )
@@ -62,6 +76,7 @@ from repro.xquery import Database                         # noqa: E402
 LL_LIST = "ll-list"
 LL_HEAP = "ll-heap"
 VECTORIZED = "vectorized"
+AUTO = "auto"
 
 
 class Runner:
@@ -115,6 +130,8 @@ def _join_kernels(op, context, candidates):
         (LL_HEAP, lambda: ll_join(op, context, candidates,
                                   active_structure="heap")),
         (VECTORIZED, lambda: vec_join(op, context, candidates)),
+        (AUTO, lambda: kernel_join(op, context, candidates,
+                                   kernel="auto")),
     ]
 
 
@@ -388,6 +405,94 @@ SCENARIOS = [
 ]
 
 
+# ----------------------------------------------------------------------
+# trajectory comparison
+# ----------------------------------------------------------------------
+
+def compare_trajectories(new_payload: dict, baseline_payload: dict
+                         ) -> tuple[list[str], list[str]]:
+    """Diff two trajectory files on their ``scenario``/``kernel`` keys.
+
+    :returns: ``(problems, report)`` — *problems* are hard failures
+        (a baseline key missing from the new run, or a key that DNFed
+        in the new run but finished in the baseline); *report* lines
+        summarize per-key speedups/regressions for shared keys.
+    """
+    def by_key(payload):
+        return {(s["scenario"], s["kernel"]): s
+                for s in payload["scenarios"]}
+
+    base = by_key(baseline_payload)
+    new = by_key(new_payload)
+    problems: list[str] = []
+    report: list[str] = []
+    if new_payload.get("smoke") != baseline_payload.get("smoke"):
+        problems.append(
+            "smoke/full mismatch: comparing a "
+            f"smoke={new_payload.get('smoke')} run against a "
+            f"smoke={baseline_payload.get('smoke')} baseline "
+            "(workload scales differ; keys would not line up)")
+        return problems, report
+    for key in sorted(base.keys() - new.keys(),
+                      key=lambda k: (k[0], str(k[1]))):
+        problems.append(f"missing scenario: {key[0]} [{key[1]}]")
+    regressions = improvements = 0
+    for key in sorted(new.keys(), key=lambda k: (k[0], str(k[1]))):
+        record = new[key]
+        ref = base.get(key)
+        if record["dnf"]:
+            if ref is None:
+                problems.append(
+                    f"new DNF: {key[0]} [{key[1]}] (no baseline entry)")
+            elif not ref["dnf"]:
+                problems.append(
+                    f"new DNF: {key[0]} [{key[1]}] "
+                    f"(baseline finished in {ref['seconds']}s)")
+            continue
+        if ref is None or ref["dnf"] or not ref.get("seconds"):
+            continue
+        ratio = ref["seconds"] / record["seconds"] \
+            if record["seconds"] else math.inf
+        if ratio >= 1.05:
+            improvements += 1
+            tag = f"{ratio:.2f}x faster"
+        elif ratio <= 0.8:
+            regressions += 1
+            tag = f"{1 / ratio:.2f}x SLOWER"
+        else:
+            continue
+        report.append(f"  {key[0]} [{key[1]}]: "
+                      f"{ref['seconds']}s -> {record['seconds']}s "
+                      f"({tag})")
+    report.append(f"compared {len(new.keys() & base.keys())} shared "
+                  f"keys: {improvements} faster (>=1.05x), "
+                  f"{regressions} slower (>=1.25x), "
+                  f"{len(new.keys() - base.keys())} new")
+    return problems, report
+
+
+def resolve_baseline(arg: str | None, pr_label: str, smoke: bool
+                     ) -> Path | None:
+    """The baseline file to diff against, or ``None``.
+
+    Explicit ``--baseline PATH`` wins (``none`` disables); otherwise a
+    full run labelled ``PR<k>`` auto-detects ``BENCH_PR<k-1>.json`` at
+    the repository root.
+    """
+    if arg is not None:
+        if arg.lower() == "none":
+            return None
+        return Path(arg)
+    if smoke:
+        return None
+    match = re.fullmatch(r"PR(\d+)", pr_label)
+    if match and int(match.group(1)) >= 1:
+        candidate = _ROOT / f"BENCH_PR{int(match.group(1)) - 1}.json"
+        if candidate.exists():
+            return candidate
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="benchmarks/run_all.py", description=__doc__,
@@ -404,54 +509,98 @@ def main(argv: list[str] | None = None) -> int:
                         help="DNF budget seconds per scenario "
                              "(default: 120, smoke: 30)")
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="output JSON path (default: BENCH_PR1.json "
+                        help="output JSON path (default: BENCH_PR2.json "
                              "at the repo root; BENCH_SMOKE.json with "
                              "--smoke)")
     parser.add_argument("--pr", default=None, metavar="LABEL",
                         help="trajectory-point label stamped into the "
                              "JSON (default: derived from the output "
                              "file name, e.g. BENCH_PR2.json -> PR2)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="trajectory file to diff against (fails on "
+                             "missing scenario/kernel keys or new DNFs; "
+                             "default: auto-detect BENCH_PR<k-1>.json "
+                             "for a PR<k> run; 'none' disables)")
+    parser.add_argument("--compare", default=None, metavar="PATH",
+                        help="skip running: load this trajectory JSON "
+                             "and only perform the baseline comparison")
     args = parser.parse_args(argv)
 
     repeats = args.repeats if args.repeats is not None \
         else (1 if args.smoke else 3)
     budget = args.budget if args.budget is not None \
         else (30.0 if args.smoke else 120.0)
-    out = Path(args.out) if args.out else \
-        _ROOT / ("BENCH_SMOKE.json" if args.smoke else "BENCH_PR1.json")
-    pr_label = args.pr if args.pr else (
-        out.stem[len("BENCH_"):] if out.stem.startswith("BENCH_")
-        else out.stem)
 
-    runner = Runner(smoke=args.smoke, only=args.only,
-                    repeats=repeats, budget=budget)
-    print(f"run_all: smoke={args.smoke} repeats={repeats} "
-          f"budget={budget}s", flush=True)
-    for scenario in SCENARIOS:
-        scenario(runner)
-    staircase_summary = scenario_staircase(runner)
+    if args.compare is not None:
+        source = Path(args.compare)
+        if not source.exists():
+            print(f"trajectory file {source} does not exist")
+            return 1
+        payload = json.loads(source.read_text(encoding="utf-8"))
+        pr_label = payload.get("pr", source.stem)
+        smoke = bool(payload.get("smoke"))
+        print(f"run_all: comparing {source} (no scenarios executed)")
+    else:
+        out = Path(args.out) if args.out else \
+            _ROOT / ("BENCH_SMOKE.json" if args.smoke
+                     else "BENCH_PR2.json")
+        pr_label = args.pr if args.pr else (
+            out.stem[len("BENCH_"):] if out.stem.startswith("BENCH_")
+            else out.stem)
+        smoke = args.smoke
 
-    payload = {
-        "schema": "repro-bench-trajectory/1",
-        "pr": pr_label,
-        "smoke": args.smoke,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "repeats": repeats,
-        "budget_seconds": budget,
-        "scenarios": runner.records,
-        "summary": {
-            "scenario_count": len(runner.records),
-            "staircase_vectorized_headline": staircase_summary,
-        },
-    }
-    out.write_text(json.dumps(payload, indent=2) + "\n",
-                   encoding="utf-8")
-    print(f"\nwrote {len(runner.records)} scenario records to {out}")
-    if staircase_summary:
-        print(f"staircase headline: vectorized {staircase_summary['speedup']}x "
-              f"vs ll-list at scale {staircase_summary['scale']} "
-              f"({staircase_summary['size']})")
+        runner = Runner(smoke=args.smoke, only=args.only,
+                        repeats=repeats, budget=budget)
+        print(f"run_all: smoke={args.smoke} repeats={repeats} "
+              f"budget={budget}s", flush=True)
+        for scenario in SCENARIOS:
+            scenario(runner)
+        staircase_summary = scenario_staircase(runner)
+
+        payload = {
+            "schema": "repro-bench-trajectory/1",
+            "pr": pr_label,
+            "smoke": args.smoke,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "repeats": repeats,
+            "budget_seconds": budget,
+            "scenarios": runner.records,
+            "summary": {
+                "scenario_count": len(runner.records),
+                "staircase_vectorized_headline": staircase_summary,
+            },
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n",
+                       encoding="utf-8")
+        print(f"\nwrote {len(runner.records)} scenario records to {out}")
+        if staircase_summary:
+            print(f"staircase headline: vectorized "
+                  f"{staircase_summary['speedup']}x "
+                  f"vs ll-list at scale {staircase_summary['scale']} "
+                  f"({staircase_summary['size']})")
+
+    baseline_path = resolve_baseline(args.baseline, pr_label, smoke)
+    if baseline_path is None:
+        if args.compare is not None:
+            print("no baseline to compare against "
+                  "(pass --baseline PATH)")
+            return 1
+        return 0
+    if not baseline_path.exists():
+        print(f"baseline {baseline_path} does not exist")
+        return 1
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    problems, report = compare_trajectories(payload, baseline)
+    print(f"\ntrajectory diff vs {baseline_path.name} "
+          f"({baseline.get('pr', '?')}):")
+    for line in report:
+        print(line)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print("trajectory check OK: no missing scenarios, no new DNFs")
     return 0
 
 

@@ -14,7 +14,7 @@ Interactive::
     standoff> \quit
 
 Backslash commands: ``\load <uri> [path]``, ``\blob <uri> <path>``,
-``\docs``, ``\strategy udf|basic|ll``, ``\kernel ll|vectorized``,
+``\docs``, ``\strategy udf|basic|ll``, ``\kernel ll|vectorized|auto``,
 ``\timing on|off``, ``\help``, ``\quit``.  Everything else is evaluated
 as a query; results print one item per line (nodes serialized as XML).
 """
@@ -37,7 +37,7 @@ HELP = """\
 \\blob <uri> <path>   register a BLOB file
 \\docs                list stored documents and BLOBs
 \\strategy <name>     set evaluation strategy: udf | basic | ll
-\\kernel <name>       set StandOff join kernel: ll | vectorized
+\\kernel <name>       set StandOff join kernel: ll | vectorized | auto
 \\timing on|off       print query wall-clock times
 \\help                this text
 \\quit                exit
@@ -167,7 +167,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--kernel", default=DEFAULT_KERNEL,
                         choices=list(SUPPORTED_KERNELS),
                         help="StandOff join kernel (vectorized = batched "
-                             "NumPy fast path)")
+                             "NumPy fast path; auto = per-join choice by "
+                             "input size)")
     args = parser.parse_args(argv)
 
     session = CliSession()

@@ -55,9 +55,25 @@ KERNEL_LL = "ll"
 #: segmented prefix-max containment/overlap tests.
 KERNEL_VECTORIZED = "vectorized"
 
-SUPPORTED_KERNELS = (KERNEL_LL, KERNEL_VECTORIZED)
+#: Per-join automatic choice: ``ll`` for small inputs (where NumPy call
+#: overhead dominates the row-at-a-time merge's cost), ``vectorized``
+#: otherwise — the optimizer-style selection resolved per join call by
+#: :func:`select_kernel` once the input sizes are known.
+KERNEL_AUTO = "auto"
+
+SUPPORTED_KERNELS = (KERNEL_LL, KERNEL_VECTORIZED, KERNEL_AUTO)
 
 DEFAULT_KERNEL = KERNEL_LL
+
+#: ``auto`` threshold: total input rows (context + candidates) below
+#: which the reference merge beats the batched kernel.  The crossover
+#: sits where ~20 NumPy dispatches (~50-100 us of fixed overhead)
+#: outweigh the per-row cost of the interpreted merge (~0.5-2 us/row
+#: depending on active-list churn); measured crossovers fall between
+#: ~100 and ~250 total rows, so the threshold is set at the low end —
+#: misclassifying a small join as vectorized costs tens of
+#: microseconds, misclassifying a large one as ``ll`` costs far more.
+AUTO_KERNEL_MIN_ROWS = 128
 
 
 def validate_kernel(name: str) -> str:
@@ -77,11 +93,32 @@ def resolve_kernel(name: str, *, tracing: bool = False) -> str:
 
     Trace sinks observe the row-at-a-time merge (add/replace/trim/emit
     events of Listing 1), which the batched kernel does not produce, so
-    tracing always falls back to the reference ``ll`` kernel.
+    tracing always falls back to the reference ``ll`` kernel.  ``auto``
+    stays ``auto`` (it needs input sizes; see :func:`select_kernel`).
     """
     validate_kernel(name)
     if tracing:
         return KERNEL_LL
+    return name
+
+
+def select_kernel(name: str, *, context_rows: int = 0,
+                  candidate_rows: int = 0, tracing: bool = False) -> str:
+    """Resolve the effective kernel for one join call.
+
+    Like :func:`resolve_kernel`, but with the join's input sizes in
+    hand so ``auto`` can be decided: below
+    :data:`AUTO_KERNEL_MIN_ROWS` total rows the row-at-a-time merge
+    wins (NumPy call overhead dominates), above it the batched kernel
+    does.
+
+    :returns: :data:`KERNEL_LL` or :data:`KERNEL_VECTORIZED`.
+    """
+    name = resolve_kernel(name, tracing=tracing)
+    if name == KERNEL_AUTO:
+        if context_rows + candidate_rows < AUTO_KERNEL_MIN_ROWS:
+            return KERNEL_LL
+        return KERNEL_VECTORIZED
     return name
 
 

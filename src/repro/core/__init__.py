@@ -12,8 +12,10 @@ This package is the paper's primary contribution in library form:
 * :mod:`~repro.core.mergejoin_basic` / :mod:`~repro.core.mergejoin_ll` —
   the Basic and Loop-Lifted StandOff MergeJoin families (§4.4, §4.5);
 * :mod:`~repro.core.kernels_vec` — the batched NumPy kernels for the
-  loop-lifted joins (``kernel="vectorized"``), with
-  :func:`~repro.core.kernels_vec.kernel_join` as the kernel dispatcher;
+  loop-lifted joins (``kernel="vectorized"``), building
+  :class:`~repro.relational.columnar.ColumnarResult` values natively,
+  with :func:`~repro.core.kernels_vec.kernel_join` as the kernel
+  dispatcher (``kernel="auto"`` picks per join by input size);
 * :func:`~repro.core.steps.standoff_step` — step-level execution with
   fragment partitioning, selection pushdown and strategy choice (§3.3).
 """
@@ -45,6 +47,7 @@ from repro.core.mergejoin_ll import (
 from repro.core.naive import StandoffOp, naive_join, naive_join_loop
 from repro.core.region import Area, Region
 from repro.core.region_index import RegionIndex, RegionTable
+from repro.relational.columnar import ColumnarResult, ColumnarStepResult
 from repro.core.relations import (
     AllenRelation,
     CONTAINMENT_RELATIONS,
@@ -74,6 +77,8 @@ __all__ = [
     "select_wide",
     "reject_narrow",
     "reject_wide",
+    "ColumnarResult",
+    "ColumnarStepResult",
     "IterContext",
     "JoinResult",
     "ll_join",

@@ -16,22 +16,27 @@ supports:
   work tracks the number of plausible (iteration, candidate) pairs
   instead of ``iterations x candidates``;
 * containment/overlap are boolean-mask tests of candidate endpoints
-  against segmented prefix maxima.
+  against segmented prefix maxima;
+* results are built **columnar**: the matched pairs are canonicalized
+  straight into a :class:`~repro.relational.columnar.ColumnarResult`
+  (iters + CSR offsets|values) — no per-iteration ``dict[int, list]``
+  materialization anywhere on the fast path.
 
 Semantics are identical to :func:`repro.core.mergejoin_ll.ll_join` — the
 differential suite (``tests/test_kernels_differential.py``) asserts
-``vectorized == list == heap == naive`` on randomized workloads.  The
-reference path is kept both as the oracle and as the fallback: trace
-sinks (which observe Listing 1's add/replace/trim/emit events) and
-pathological inputs whose candidate windows would materialize too many
-pairs are delegated to ``ll_join``.
+``columnar == vectorized == list == heap == naive`` on randomized
+workloads (the columnar result's lazy dict view makes the comparison
+direct).  The reference path is kept both as the oracle and as the
+fallback: trace sinks (which observe Listing 1's add/replace/trim/emit
+events) and pathological inputs whose candidate windows would
+materialize too many pairs are delegated to ``ll_join``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.config import KERNEL_VECTORIZED, resolve_kernel
+from repro.config import KERNEL_VECTORIZED, select_kernel
 from repro.core.mergejoin_ll import (
     IterContext,
     JoinResult,
@@ -40,6 +45,7 @@ from repro.core.mergejoin_ll import (
 )
 from repro.core.naive import StandoffOp
 from repro.core.region_index import RegionTable
+from repro.relational.columnar import ColumnarResult, complement, run_starts
 
 #: Upper bound on materialized (iteration, candidate) probe pairs; above
 #: this the kernel delegates to the row-at-a-time reference join rather
@@ -58,10 +64,9 @@ class _PairBudgetExceeded(Exception):
 # segmented primitives
 # ----------------------------------------------------------------------
 
-def _boundaries(sorted_vals: np.ndarray) -> np.ndarray:
-    """Start offsets of the runs of equal values in a sorted array."""
-    return np.concatenate(
-        ([0], np.flatnonzero(sorted_vals[1:] != sorted_vals[:-1]) + 1))
+#: Start offsets of the runs of equal values in a sorted array (shared
+#: with the columnar result layer, which uses it to cut CSR offsets).
+_boundaries = run_starts
 
 
 def _segment_ids(n: int, seg_off: np.ndarray) -> np.ndarray:
@@ -191,30 +196,11 @@ def _expand_windows(j0: np.ndarray, j1: np.ndarray
     return seg_of_pair, pair_j, offs
 
 
-def _pairs_to_result(iter_vals: np.ndarray, cand_ids: np.ndarray, *,
-                     presorted: bool = False, unique: bool = False
-                     ) -> JoinResult:
-    """Group matched ``(iter, candidate id)`` pairs into the canonical
-    result: unique ids per iteration, ascending (= document) order."""
-    if len(iter_vals) == 0:
-        return {}
-    if not presorted:
-        order = np.lexsort((cand_ids, iter_vals))
-        iter_vals = iter_vals[order]
-        cand_ids = cand_ids[order]
-    if not unique:
-        keep = np.empty(len(iter_vals), bool)
-        keep[0] = True
-        np.logical_or(iter_vals[1:] != iter_vals[:-1],
-                      cand_ids[1:] != cand_ids[:-1], out=keep[1:])
-        iter_vals = iter_vals[keep]
-        cand_ids = cand_ids[keep]
-    first = _boundaries(iter_vals)
-    bounds = np.append(first, len(iter_vals)).tolist()
-    ids_list = cand_ids.tolist()
-    return {it: ids_list[a:b]
-            for it, a, b in zip(iter_vals[first].tolist(),
-                                bounds[:-1], bounds[1:])}
+#: Canonicalize matched ``(iter, candidate id)`` pairs — unique ids per
+#: iteration, ascending (= document) order — directly into CSR form;
+#: this used to build a ``dict[int, list[int]]`` and was the dominant
+#: cost of the kernel at large iteration counts.
+_pairs_to_result = ColumnarResult.from_pairs
 
 
 # ----------------------------------------------------------------------
@@ -272,7 +258,7 @@ def _select_pairs(context: IterContext, candidates: RegionTable, *,
 
 
 def _narrow_multi_region(context: IterContext,
-                         candidates: RegionTable) -> JoinResult:
+                         candidates: RegionTable) -> ColumnarResult:
     """∀-quantified containment for multi-region candidate areas.
 
     Mirrors :func:`repro.core.mergejoin_ll._narrow_multi_region`:
@@ -292,7 +278,7 @@ def _narrow_multi_region(context: IterContext,
         ctx_of_pair = ctx_of_pair[contained]
         pair_j = pair_j[contained]
     if len(pair_j) == 0:
-        return {}
+        return ColumnarResult.empty()
     # Ordinal per context *area* (iter, ctx id) — several regions of one
     # area share an ordinal; lexsort-based so arbitrary id ranges work.
     order = np.lexsort((context.ids, context.iters))
@@ -320,10 +306,10 @@ def _narrow_multi_region(context: IterContext,
 
 
 def vec_select_narrow(context: IterContext, candidates: RegionTable,
-                      ) -> JoinResult:
+                      ) -> ColumnarResult:
     """Vectorized containment semi-join (batched Listing 1)."""
     if len(context) == 0 or len(candidates) == 0:
-        return {}
+        return ColumnarResult.empty()
     try:
         if not candidates.has_multi_region_areas():
             # Each (iteration, candidate) pair is probed exactly once and
@@ -333,56 +319,43 @@ def vec_select_narrow(context: IterContext, candidates: RegionTable,
                 unique=True)
         return _narrow_multi_region(context, candidates)
     except _PairBudgetExceeded:
-        return ll_join(StandoffOp.SELECT_NARROW, context, candidates)
+        return ColumnarResult.from_dict(
+            ll_join(StandoffOp.SELECT_NARROW, context, candidates))
 
 
 def vec_select_wide(context: IterContext, candidates: RegionTable,
-                    ) -> JoinResult:
+                    ) -> ColumnarResult:
     """Vectorized overlap semi-join (∃∃ over regions, any multiplicity)."""
     if len(context) == 0 or len(candidates) == 0:
-        return {}
+        return ColumnarResult.empty()
     try:
         return _pairs_to_result(
             *_select_pairs(context, candidates, wide=True))
     except _PairBudgetExceeded:
-        return ll_join(StandoffOp.SELECT_WIDE, context, candidates)
+        return ColumnarResult.from_dict(
+            ll_join(StandoffOp.SELECT_WIDE, context, candidates))
 
 
 # ----------------------------------------------------------------------
-# anti-joins
+# anti-joins — per-iteration complements via the shared columnar helper
 # ----------------------------------------------------------------------
-
-def _complement(selected: JoinResult, iterations: list[int],
-                universe: np.ndarray) -> JoinResult:
-    """Per-iteration complement over the (sorted, unique) universe."""
-    universe_list = universe.tolist()
-    out: JoinResult = {}
-    for it in iterations:
-        matched = selected.get(it)
-        if matched:
-            out[it] = np.setdiff1d(universe, matched,
-                                   assume_unique=True).tolist()
-        else:
-            out[it] = list(universe_list)
-    return out
-
 
 def vec_reject_narrow(context: IterContext, candidates: RegionTable,
-                      ) -> JoinResult:
+                      ) -> ColumnarResult:
     """Vectorized containment anti-join."""
     if len(context) == 0:
-        return {}
-    return _complement(vec_select_narrow(context, candidates),
-                       context.iterations(), candidates.unique_ids())
+        return ColumnarResult.empty()
+    return complement(vec_select_narrow(context, candidates),
+                      context.iterations(), candidates.unique_ids())
 
 
 def vec_reject_wide(context: IterContext, candidates: RegionTable,
-                    ) -> JoinResult:
+                    ) -> ColumnarResult:
     """Vectorized overlap anti-join."""
     if len(context) == 0:
-        return {}
-    return _complement(vec_select_wide(context, candidates),
-                       context.iterations(), candidates.unique_ids())
+        return ColumnarResult.empty()
+    return complement(vec_select_wide(context, candidates),
+                      context.iterations(), candidates.unique_ids())
 
 
 # ----------------------------------------------------------------------
@@ -400,12 +373,15 @@ _VEC_DISPATCH = {
 def vec_join(op: StandoffOp, context: IterContext,
              candidates: RegionTable, *,
              active_structure: str = "list",
-             trace: TraceSink | None = None) -> JoinResult:
+             trace: TraceSink | None = None
+             ) -> ColumnarResult | JoinResult:
     """Dispatch a vectorized StandOff join by operator.
 
     Signature-compatible with :func:`~repro.core.mergejoin_ll.ll_join`;
-    a trace sink forces the reference path (the batched kernel has no
-    per-row events to report).
+    returns a :class:`~repro.relational.columnar.ColumnarResult` (whose
+    lazy dict view is interchangeable with the classical ``JoinResult``).
+    A trace sink forces the reference path (the batched kernel has no
+    per-row events to report), which returns the plain dict.
     """
     if trace is not None:
         return ll_join(op, context, candidates,
@@ -417,13 +393,18 @@ def kernel_join(op: StandoffOp, context: IterContext,
                 candidates: RegionTable, *,
                 kernel: str = "ll",
                 active_structure: str = "list",
-                trace: TraceSink | None = None) -> JoinResult:
+                trace: TraceSink | None = None
+                ) -> ColumnarResult | JoinResult:
     """Run a loop-lifted StandOff join under the selected kernel.
 
-    ``kernel`` is ``"ll"`` (reference merge) or ``"vectorized"``; tracing
-    auto-falls back to ``ll`` (see :func:`repro.config.resolve_kernel`).
+    ``kernel`` is ``"ll"`` (reference merge), ``"vectorized"``, or
+    ``"auto"`` (pick ``ll`` below the input-size threshold where NumPy
+    call overhead dominates); tracing auto-falls back to ``ll`` — see
+    :func:`repro.config.select_kernel`.
     """
-    kernel = resolve_kernel(kernel, tracing=trace is not None)
+    kernel = select_kernel(kernel, context_rows=len(context),
+                           candidate_rows=len(candidates),
+                           tracing=trace is not None)
     if kernel == KERNEL_VECTORIZED:
         return vec_join(op, context, candidates)
     return ll_join(op, context, candidates,

@@ -44,6 +44,7 @@ import numpy as np
 from repro.core.naive import StandoffOp
 from repro.core.region_index import RegionTable
 from repro.errors import RegionError
+from repro.relational.columnar import complement
 
 #: A trace event: (kind, *payload).  Used by the Figure 4 trace test.
 TraceEvent = tuple
@@ -526,17 +527,14 @@ def ll_select_wide(context: IterContext, candidates: RegionTable, *,
 # ----------------------------------------------------------------------
 
 def _complement(select_result: JoinResult, iterations: list[int],
-                universe: list[int]) -> JoinResult:
-    """Per-iteration complement of a semi-join result over *universe*."""
-    out: JoinResult = {}
-    for it in iterations:
-        matched = select_result.get(it)
-        if matched:
-            matched_set = set(matched)
-            out[it] = [nid for nid in universe if nid not in matched_set]
-        else:
-            out[it] = list(universe)
-    return out
+                universe: np.ndarray) -> JoinResult:
+    """Per-iteration complement of a semi-join result over *universe*.
+
+    Delegates to the shared columnar helper
+    (:func:`repro.relational.columnar.complement`) and decodes back to
+    the reference path's dict representation.
+    """
+    return complement(select_result, iterations, universe).to_dict()
 
 
 def ll_reject_narrow(context: IterContext, candidates: RegionTable, *,
@@ -552,8 +550,7 @@ def ll_reject_narrow(context: IterContext, candidates: RegionTable, *,
     """
     if len(context) == 0:
         return {}
-    universe = [int(x) for x in candidates.multiplicity()]
-    universe.sort()
+    universe = candidates.unique_ids()
     selected = ll_select_narrow(context, candidates,
                                 active_structure=active_structure,
                                 trace=trace)
@@ -566,8 +563,7 @@ def ll_reject_wide(context: IterContext, candidates: RegionTable, *,
     """Overlap anti-join: candidates overlapping *no* context area."""
     if len(context) == 0:
         return {}
-    universe = [int(x) for x in candidates.multiplicity()]
-    universe.sort()
+    universe = candidates.unique_ids()
     selected = ll_select_wide(context, candidates,
                               active_structure=active_structure,
                               trace=trace)

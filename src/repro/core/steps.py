@@ -29,12 +29,18 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.config import DEFAULT_KERNEL, KERNEL_VECTORIZED, validate_kernel
+from repro.config import (
+    DEFAULT_KERNEL,
+    KERNEL_VECTORIZED,
+    select_kernel,
+    validate_kernel,
+)
 from repro.core.kernels_vec import kernel_join, vec_join
 from repro.core.mergejoin_basic import basic_join
 from repro.core.mergejoin_ll import IterContext, JoinResult
 from repro.core.naive import StandoffOp, naive_join_loop
 from repro.core.region_index import RegionIndex
+from repro.relational.columnar import ColumnarStepResult
 
 
 class Strategy(Enum):
@@ -65,7 +71,8 @@ def standoff_step(op: StandoffOp,
                   strategy: Strategy = Strategy.LOOP_LIFTED,
                   active_structure: str = "list",
                   kernel: str = DEFAULT_KERNEL,
-                  ) -> dict[int, list[tuple[int, int]]]:
+                  fragment_rank: Mapping[int, int] | None = None,
+                  ) -> ColumnarStepResult:
     """Execute one StandOff step.
 
     :param op: which of the four joins to perform.
@@ -81,19 +88,34 @@ def standoff_step(op: StandoffOp,
     :param active_structure: ``"list"`` or ``"heap"`` active-items
         structure for the merge joins.
     :param kernel: join kernel for the merge strategies — ``"ll"``
-        (row-at-a-time reference merge) or ``"vectorized"`` (batched
-        NumPy kernels, :mod:`repro.core.kernels_vec`).  The ``udf``
-        strategy ignores the kernel (it *is* the quadratic baseline).
-    :returns: ``iter -> [(fragment, node_id), ...]`` unique, in document
-        order (fragment id, then node id ascending = pre-order).
+        (row-at-a-time reference merge), ``"vectorized"`` (batched
+        NumPy kernels, :mod:`repro.core.kernels_vec`) or ``"auto"``
+        (per-join size-based choice).  The ``udf`` strategy ignores the
+        kernel (it *is* the quadratic baseline).
+    :param fragment_rank: optional explicit fragment ordering (fragment
+        id -> rank); fragments are joined and concatenated in ascending
+        rank so callers whose document order differs from fragment-id
+        order (e.g. transient fragments keyed by object identity) get
+        final order straight from the columnar concatenation.  Default:
+        ascending fragment id.
+    :returns: a :class:`~repro.relational.columnar.ColumnarStepResult` —
+        ``iter -> [(fragment, node_id), ...]`` under its lazy dict view,
+        unique, in document order (fragment rank, then node id ascending
+        = pre-order).  The columnar arrays stay available for consumers
+        that avoid decoding.
     """
     validate_kernel(kernel)
     per_fragment: dict[int, list[tuple[int, int]]] = {}
     for iteration, fragment, node_id in context:
         per_fragment.setdefault(fragment, []).append((iteration, node_id))
 
-    merged: dict[int, list[tuple[int, int]]] = {}
-    for fragment in sorted(per_fragment):
+    if fragment_rank is None:
+        ordered = sorted(per_fragment)
+    else:
+        ordered = sorted(per_fragment,
+                         key=lambda frag: fragment_rank[frag])
+    parts = []
+    for fragment in ordered:
         index = indexes.get(fragment)
         if index is None:
             continue
@@ -104,23 +126,26 @@ def standoff_step(op: StandoffOp,
             if wanted is None:
                 continue
             candidates = index.candidates(wanted)
-        frag_result = _run_fragment(op, per_fragment[fragment], index,
+        parts.append((fragment,
+                      _run_fragment(op, per_fragment[fragment], index,
                                     candidates, strategy, active_structure,
-                                    kernel)
-        for iteration, ids in frag_result.items():
-            merged.setdefault(iteration, []).extend(
-                (fragment, nid) for nid in ids)
-    # Per-fragment results are already id-ascending and fragments are
-    # visited in ascending order, so each iteration's list is in document
-    # order already; no re-sort needed.
-    return merged
+                                    kernel)))
+    # Per-fragment results are id-ascending per iteration and fragments
+    # are concatenated in rank order, so the stable columnar merge
+    # yields document order directly; no per-pair re-sort needed.
+    return ColumnarStepResult.from_fragments(parts)
 
 
 def _run_fragment(op: StandoffOp, pairs: list[tuple[int, int]],
                   index: RegionIndex, candidates,
                   strategy: Strategy, active_structure: str,
-                  kernel: str) -> JoinResult:
-    """Run one fragment's join under the chosen strategy."""
+                  kernel: str):
+    """Run one fragment's join under the chosen strategy.
+
+    Returns a ``JoinResult`` dict (reference paths) or a
+    :class:`~repro.relational.columnar.ColumnarResult` (vectorized
+    kernel); :meth:`ColumnarStepResult.from_fragments` consumes either.
+    """
     if strategy is Strategy.UDF:
         context_rows = []
         for iteration, node_id in pairs:
@@ -140,7 +165,9 @@ def _run_fragment(op: StandoffOp, pairs: list[tuple[int, int]],
             fetched = index.fetch(ids)
             if len(fetched) == 0:
                 continue
-            if kernel == KERNEL_VECTORIZED:
+            effective = select_kernel(kernel, context_rows=len(fetched),
+                                      candidate_rows=len(candidates))
+            if effective == KERNEL_VECTORIZED:
                 # Basic == loop-lifted restricted to one iteration, so
                 # the batched kernel applies per iteration as well.
                 single = IterContext.single(fetched, iteration)

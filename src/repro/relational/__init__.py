@@ -1,6 +1,12 @@
-"""Relational substrate: columns, tables and loop-lifted sequences."""
+"""Relational substrate: columns, tables, loop-lifted sequences and the
+columnar (offsets + values) join-result backbone."""
 
 from repro.relational.column import Column
+from repro.relational.columnar import (
+    ColumnarResult,
+    ColumnarStepResult,
+    complement,
+)
 from repro.relational.operators import (
     antijoin,
     cross,
@@ -14,13 +20,23 @@ from repro.relational.operators import (
     semijoin,
     sort,
 )
-from repro.relational.sequence import IterSeq, Loop, expand_loop, unlift
+from repro.relational.sequence import (
+    IterSeq,
+    LazyIterData,
+    Loop,
+    expand_loop,
+    unlift,
+)
 from repro.relational.table import Table
 
 __all__ = [
     "Column",
+    "ColumnarResult",
+    "ColumnarStepResult",
+    "complement",
     "Table",
     "IterSeq",
+    "LazyIterData",
     "Loop",
     "expand_loop",
     "unlift",

@@ -21,6 +21,7 @@ VLDB 2004]:
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
@@ -32,17 +33,75 @@ from repro.relational.table import Table
 Loop = list
 
 
+class LazyIterData(Mapping):
+    """A lazily-decoded ``iter -> item list`` mapping over a columnar
+    backbone.
+
+    Wraps the sorted iteration keys of a columnar join result and a
+    ``decode(iteration) -> list`` callable; per-iteration item lists are
+    materialized only when accessed (and cached, shared across
+    :meth:`restrict` copies).  This is the node-id fast path that lets
+    the bulk evaluator consume StandOff join output without eagerly
+    exploding every iteration into Python lists — iterations dropped by
+    a ``where`` clause or an ``if`` branch are never decoded.
+    """
+
+    __slots__ = ("_keys", "_keyset", "_decode", "_cache")
+
+    def __init__(self, keys: list[int], decode: Callable[[int], list],
+                 _cache: dict | None = None):
+        self._keys = keys
+        self._keyset = frozenset(keys)
+        self._decode = decode
+        self._cache: dict[int, list] = {} if _cache is None else _cache
+
+    def __getitem__(self, iteration: int) -> list:
+        # Membership first: the decode cache is shared with restrict()
+        # views, so it may hold iterations this view has filtered out.
+        if iteration not in self._keyset:
+            raise KeyError(iteration)
+        cached = self._cache.get(iteration)
+        if cached is None:
+            cached = self._decode(iteration)
+            self._cache[iteration] = cached
+        return cached
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, iteration) -> bool:
+        return iteration in self._keyset
+
+    def restrict(self, live: set) -> "LazyIterData":
+        """The sub-mapping of iterations in *live*, still lazy.
+
+        The decode cache is shared with the parent, so an iteration
+        decoded through either view is decoded once.
+        """
+        return LazyIterData([it for it in self._keys if it in live],
+                            self._decode, _cache=self._cache)
+
+    def __repr__(self) -> str:
+        return (f"LazyIterData(iters={len(self._keys)}, "
+                f"decoded={len(self._cache)})")
+
+
 class IterSeq:
     """A loop-lifted item sequence (``iter|pos|item``).
 
-    ``data`` maps an iteration number to its item list.  Iterations with
+    ``data`` maps an iteration number to its item list — a plain dict,
+    or any read-only mapping such as :class:`LazyIterData` (the
+    columnar-backed lazy view over join results).  Iterations with
     an empty sequence may be absent — consumers must treat a missing key
     as the empty sequence.
     """
 
     __slots__ = ("data",)
 
-    def __init__(self, data: dict[int, list] | None = None):
+    def __init__(self, data: Mapping | None = None):
         self.data = data if data is not None else {}
 
     # -- constructors ------------------------------------------------------
@@ -101,6 +160,18 @@ class IterSeq:
             if new:
                 out[it] = new
         return IterSeq(out)
+
+    def restrict(self, live: Iterable[int]) -> "IterSeq":
+        """Keep only the iterations in *live*.
+
+        Lazily-backed sequences stay lazy (iterations outside *live*
+        are never decoded); dict-backed ones are filtered eagerly.
+        """
+        live_set = set(live)
+        if isinstance(self.data, LazyIterData):
+            return IterSeq(self.data.restrict(live_set))
+        return IterSeq({it: items for it, items in self.data.items()
+                        if it in live_set})
 
     def filter_items(self, pred: Callable) -> "IterSeq":
         out = {}

@@ -25,7 +25,13 @@ from repro.errors import (
     XQueryStaticError,
     XQueryTypeError,
 )
-from repro.relational.sequence import IterSeq, Loop, expand_loop, unlift
+from repro.relational.sequence import (
+    IterSeq,
+    LazyIterData,
+    Loop,
+    expand_loop,
+    unlift,
+)
 from repro.xmldb.dom import Document, Element, Node, Text, document_order
 from repro.xquery import ast
 from repro.xquery.axes import AXIS_FUNCTIONS, REVERSE_AXES, matches_test
@@ -281,9 +287,7 @@ def _bulk_flwor(expr: ast.FLWOR, env: BulkEnv) -> IterSeq:
         inner_env = inner_env.child(loop=live)
 
     result = eval_bulk(expr.return_expr, inner_env)
-    live_set = set(inner_env.loop)
-    result = IterSeq({it: items for it, items in result.data.items()
-                      if it in live_set})
+    result = result.restrict(inner_env.loop)
 
     if expr.order_by and maps:
         # Loop-lifted 'order by': the FLWOR's tuple stream is the
@@ -410,12 +414,21 @@ def _bulk_step(step, env: BulkEnv, context: IterSeq | None) -> IterSeq:
     if context is None:
         context = _bulk_context_item(None, env)
     if step.is_standoff:
-        per_iter = {it: context.items_for(it) for it in env.loop
-                    if context.items_for(it)}
+        per_iter = {}
+        for it in env.loop:
+            items = context.items_for(it)
+            if items:
+                per_iter[it] = items
         result_map = standoff_axis_step_lifted(env.ctx, step.axis,
                                                per_iter, step.test)
-        result = IterSeq({it: nodes for it, nodes in result_map.items()
-                          if nodes})
+        if isinstance(result_map, LazyIterData):
+            # Columnar fast path: keep the join output lazy — per-
+            # iteration node lists decode on access, so iterations a
+            # later clause discards are never materialized.
+            result = IterSeq(result_map)
+        else:
+            result = IterSeq({it: nodes for it, nodes in result_map.items()
+                              if nodes})
         return _bulk_predicates_whole(result, step.predicates, env)
     return _bulk_standard_axis(step, env, context)
 

@@ -92,7 +92,7 @@ class DynamicContext:
         self.static = static or StaticContext()
         self.strategy = strategy
         self.active_structure = active_structure
-        #: StandOff join kernel: "ll" | "vectorized"
+        #: StandOff join kernel: "ll" | "vectorized" | "auto"
         self.kernel = kernel
         #: name-test pushdown policy: "always" | "never" | "auto"
         self.pushdown = "always"

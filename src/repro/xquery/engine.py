@@ -130,7 +130,10 @@ class Database:
             (post-filter) or ``auto`` (skip pushdown for non-selective
             tests; the §3.3 (iii) optimizer choice).
         :param kernel: StandOff join kernel — ``ll`` (row-at-a-time
-            reference merge) or ``vectorized`` (batched NumPy kernels).
+            reference merge), ``vectorized`` (batched NumPy kernels
+            building columnar results) or ``auto`` (per-join choice:
+            ``ll`` below the input-size threshold where NumPy call
+            overhead dominates).
         :param context_uri: optional document whose root becomes the
             initial context item (so relative paths like ``//a`` work
             without ``doc(...)``).

@@ -4,6 +4,13 @@ Takes DOM context nodes, partitions them per XML fragment (§4.4), derives
 the candidate sequence from the step's name test via the element index
 (selection pushdown, §4.3), runs the configured join strategy, and maps
 the resulting node ids back to DOM nodes in document order.
+
+The step layer hands back a columnar result
+(:class:`~repro.relational.columnar.ColumnarStepResult`, already in
+document order because the fragment ranking is pushed *into* the join);
+this module wraps it in a :class:`~repro.relational.sequence.LazyIterData`
+that decodes node ids to DOM nodes per accessed iteration — the bulk
+evaluator never sees an eagerly-exploded ``dict[int, list[Node]]``.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from repro.config import DEFAULT_KERNEL, KERNEL_LL
 from repro.core.naive import StandoffOp
 from repro.core.steps import Strategy, standoff_step
 from repro.errors import XQueryTypeError
+from repro.relational.sequence import LazyIterData
 from repro.xmldb.dom import Document, Element, Node
 from repro.xquery.ast import NodeTest
 from repro.xquery.context import DynamicContext
@@ -101,8 +109,13 @@ def _run(ctx: DynamicContext, op: StandoffOp,
          context_by_fragment: dict[int, tuple[_FragmentInfo, list[int]]],
          candidates_by_fragment: dict[int, np.ndarray | None],
          iter_rows: list[tuple[int, int, int]],
-         ) -> dict[int, list[Node]]:
-    """Execute one StandOff step; returns per-iteration DOM node lists."""
+         post=None) -> LazyIterData:
+    """Execute one StandOff step.
+
+    Returns a lazy ``iter -> [DOM node, ...]`` mapping over the columnar
+    step result; *post* (e.g. a node-test filter) is applied inside the
+    per-iteration decode, so skipped iterations never pay for it.
+    """
     indexes = {}
     for key, (info, _pres) in context_by_fragment.items():
         indexes[key] = ctx.region_index_for(info.root)
@@ -122,22 +135,30 @@ def _run(ctx: DynamicContext, op: StandoffOp,
         # iterations also hit the batched join.
         strategy = Strategy.BASIC
     ctx.count_standoff_join()
+    # Document order (stored documents before orphan fragments) is pushed
+    # into the join as the fragment ranking, so the columnar result comes
+    # back ordered and no per-pair re-sort is ever needed.
+    ordered_fragments = sorted(
+        context_by_fragment,
+        key=lambda key: context_by_fragment[key][0].sort_rank())
+    fragment_rank = {key: rank
+                     for rank, key in enumerate(ordered_fragments)}
     raw = standoff_step(op, iter_rows, indexes,
                         candidate_map,
                         strategy=strategy,
                         active_structure=ctx.active_structure,
-                        kernel=kernel)
-    ordered_fragments = sorted(
-        context_by_fragment,
-        key=lambda key: context_by_fragment[key][0].sort_rank())
-    frag_order = {key: rank for rank, key in enumerate(ordered_fragments)}
-    out: dict[int, list[Node]] = {}
-    for iteration, pairs in raw.items():
-        pairs = sorted(pairs, key=lambda p: (frag_order[p[0]], p[1]))
-        nodes = [context_by_fragment[frag][0].node_by_pre(pre)
-                 for frag, pre in pairs]
-        out[iteration] = nodes
-    return out
+                        kernel=kernel,
+                        fragment_rank=fragment_rank)
+    infos = {key: info
+             for key, (info, _pres) in context_by_fragment.items()}
+
+    def decode(iteration: int) -> list[Node]:
+        frags, pres = raw.segment(iteration)
+        nodes = [infos[frag].node_by_pre(pre)
+                 for frag, pre in zip(frags.tolist(), pres.tolist())]
+        return nodes if post is None else post(nodes)
+
+    return LazyIterData(raw.iterations(), decode)
 
 
 def _prepare(ctx: DynamicContext,
@@ -203,14 +224,19 @@ def standoff_axis_step(ctx: DynamicContext, axis: str,
 
 def standoff_axis_step_lifted(ctx: DynamicContext, axis: str,
                               context_nodes_per_iter: dict[int, list[Node]],
-                              test: NodeTest) -> dict[int, list[Node]]:
-    """Loop-lifted StandOff axis step: all iterations in one join call."""
+                              test: NodeTest) -> LazyIterData | dict:
+    """Loop-lifted StandOff axis step: all iterations in one join call.
+
+    Returns a lazy per-iteration node mapping (the node-test post-filter
+    runs inside the decode); the bulk evaluator wraps it in an
+    :class:`~repro.relational.sequence.IterSeq` unchanged.
+    """
     if not context_nodes_per_iter:
         return {}
     op = StandoffOp.from_name(axis)
     parts = _prepare(ctx, context_nodes_per_iter, test, None)
-    result = _run(ctx, op, parts[0], parts[1], parts[2])
-    return {it: _apply_test(nodes, test) for it, nodes in result.items()}
+    return _run(ctx, op, parts[0], parts[1], parts[2],
+                post=lambda nodes: _apply_test(nodes, test))
 
 
 def _apply_test(nodes: list[Node], test: NodeTest | None) -> list[Node]:

@@ -5,13 +5,16 @@ iteration counts and multi-region areas — must produce *identical*
 ``JoinResult``s under four independent implementations of every
 StandOff operator:
 
-* ``vectorized`` — the batched NumPy kernels (``core/kernels_vec.py``);
+* ``vectorized`` — the batched NumPy kernels (``core/kernels_vec.py``),
+  which build columnar (offsets + values) results natively; both the
+  lazy dict view and the fully-decoded ``to_dict()`` form must match;
 * ``list`` / ``heap`` — the loop-lifted reference merge with either
   active-items structure (``core/mergejoin_ll.py``);
 * ``naive`` — the quadratic transcription of the paper's definitions
   (``core/naive.py``), the semantic oracle.
 
-Any divergence is a bug in one of the join kernels.
+The ``auto`` kernel must coincide with whichever of ``ll``/``vectorized``
+it resolves to.  Any divergence is a bug in one of the join kernels.
 """
 
 import random
@@ -20,6 +23,7 @@ import numpy as np
 import pytest
 
 from repro.config import (
+    KERNEL_AUTO,
     KERNEL_LL,
     KERNEL_VECTORIZED,
     resolve_kernel,
@@ -29,6 +33,7 @@ from repro.core import Area, IterContext, Region, RegionTable, StandoffOp
 from repro.core.kernels_vec import kernel_join, vec_join
 from repro.core.mergejoin_ll import ll_join
 from repro.core.naive import naive_join_loop
+from repro.relational import ColumnarResult
 from repro.xquery import Database
 
 
@@ -103,9 +108,13 @@ WORKLOADS = [
                          ids=[f"w{w['seed']}" for w in WORKLOADS])
 def test_vectorized_equals_list_heap_naive(op, shape):
     context, candidates, ctx_areas, cand_areas = make_workload(**shape)
-    vec = vec_join(op, context, candidates)
+    columnar = vec_join(op, context, candidates)
+    assert isinstance(columnar, ColumnarResult)
     as_list = ll_join(op, context, candidates, active_structure="list")
     as_heap = ll_join(op, context, candidates, active_structure="heap")
+    # The columnar result must decode to *exactly* the reference dicts
+    # (same iteration keys, including empty anti-join entries).
+    assert columnar.to_dict() == as_list, (op, shape)
     naive = naive_join_loop(
         op, [(it, nid, area) for it, nid, area in ctx_areas], cand_areas)
     naive = {it: ids for it, ids in naive.items() if ids or op.is_reject}
@@ -115,11 +124,13 @@ def test_vectorized_equals_list_heap_naive(op, shape):
                if ids or op.is_reject}
     as_heap = {it: ids for it, ids in as_heap.items()
                if ids or op.is_reject}
-    vec = {it: ids for it, ids in vec.items() if ids or op.is_reject}
+    vec = {it: ids for it, ids in columnar.items() if ids or op.is_reject}
     naive = {it: ids for it, ids in naive.items() if ids or op.is_reject}
     assert vec == as_list, (op, shape)
     assert vec == as_heap, (op, shape)
     assert vec == naive, (op, shape)
+    auto = kernel_join(op, context, candidates, kernel=KERNEL_AUTO)
+    assert auto == ll_join(op, context, candidates), (op, shape)
 
 
 @pytest.mark.parametrize("op", list(StandoffOp))
@@ -128,8 +139,11 @@ def test_larger_workload_vec_equals_ll(op):
     context, candidates, _ctx, _cand = make_workload(
         seed=99, n_iters=60, per_iter=10, n_cand=800, span=5_000,
         max_len=200, multi_frac=0.2)
-    assert vec_join(op, context, candidates) == \
-        ll_join(op, context, candidates)
+    reference = ll_join(op, context, candidates)
+    assert vec_join(op, context, candidates).to_dict() == reference
+    # This shape sits above the auto threshold: must hit the same path.
+    assert kernel_join(op, context, candidates,
+                       kernel=KERNEL_AUTO) == reference
 
 
 @pytest.mark.parametrize("op", list(StandoffOp))
@@ -218,6 +232,8 @@ def test_engine_kernels_agree(strategy, query):
     vectorized = db.query(query, strategy=strategy,
                           kernel=KERNEL_VECTORIZED).serialize()
     assert vectorized == reference
+    assert db.query(query, strategy=strategy,
+                    kernel=KERNEL_AUTO).serialize() == reference
 
 
 def test_engine_rejects_unknown_kernel():
