@@ -1,0 +1,56 @@
+"""Staircase axis-step kernels: batched columnar vs the dict path.
+
+The §4.6 companion of ``bench_staircase_vs_standoff.py``: the same
+StandOff XMark workload (one iteration per ``open_auction``, bidder
+candidates), but running the *Staircase* side's kernels against each
+other — the bisect/insort dict-shaped loop-lifted reference
+(``staircase/loop_lifted.py``) vs the batched columnar kernels
+(``staircase/kernels_vec.py``) — across the axis family (descendant,
+ancestor, child, following, preceding).
+
+The trajectory harness (``run_all.py``, scenario family
+``staircase_axes.*``) sweeps document scales; this file keeps the
+pytest-benchmark view at one scale.
+"""
+
+import pytest
+
+from repro.staircase.kernels_vec import vec_staircase_join
+from repro.staircase.loop_lifted import ll_axis_join
+
+AXES = ("descendant", "ancestor", "child", "following", "preceding")
+
+
+@pytest.fixture(scope="module")
+def inputs(xmark_db):
+    stored = xmark_db.store.get("xmark.xml")
+    shredded = stored.shredded
+    auction_pres = shredded.elements_named("open_auction")
+    context = [(it, int(pre))
+               for it, pre in enumerate(auction_pres.tolist())]
+    candidates = shredded.elements_named("bidder")
+    return shredded, context, candidates
+
+
+@pytest.mark.parametrize("axis", AXES)
+def test_axis_ll_dict(benchmark, inputs, axis):
+    shredded, context, candidates = inputs
+    result = benchmark(
+        lambda: ll_axis_join(shredded, axis, context, candidates))
+    assert isinstance(result, dict)
+
+
+@pytest.mark.parametrize("axis", AXES)
+def test_axis_vectorized(benchmark, inputs, axis):
+    shredded, context, candidates = inputs
+    result = benchmark(
+        lambda: vec_staircase_join(axis, shredded, context, candidates))
+    assert result is not None
+
+
+def test_kernels_agree(inputs):
+    shredded, context, candidates = inputs
+    for axis in AXES:
+        vec = vec_staircase_join(axis, shredded, context, candidates)
+        assert vec.to_dict() == ll_axis_join(shredded, axis, context,
+                                             candidates), axis

@@ -11,31 +11,37 @@ emits a machine-readable trajectory file::
 
 Each scenario record carries ``scenario`` (dotted name), ``file`` (the
 bench_*.py it mirrors), ``kernel`` (``ll-list`` | ``ll-heap`` |
-``vectorized`` | ``auto`` | ``null`` for non-join scenarios), ``n``
-(workload size), ``seconds`` (median wall time; ``null`` + ``dnf:
-true`` on budget overrun) and ``repeats``.  The staircase-vs-standoff
-scenario sweeps document scales; the summary block records the
-vectorized-kernel speedup at the largest size — the perf-trajectory
-headline.
+``ll-dict`` | ``vectorized`` | ``auto`` | ``null`` for non-join
+scenarios), ``n`` (workload size), ``seconds`` (median wall time;
+``null`` + ``dnf: true`` on budget overrun) and ``repeats``.  The
+staircase-vs-standoff and staircase-axis scenarios sweep document
+scales; the summary block records the vectorized-kernel speedups at the
+largest size — the perf-trajectory headlines.
 
-Output defaults to ``BENCH_PR2.json`` (``BENCH_SMOKE.json`` with
+Output defaults to ``BENCH_PR3.json`` (``BENCH_SMOKE.json`` with
 ``--smoke``) at the repository root.
 
 **Trajectory comparison**: a full run whose label is ``PR<k>`` is
 automatically diffed against the committed ``BENCH_PR<k-1>.json``
 (override with ``--baseline PATH``, disable with ``--baseline none``).
 Missing ``scenario``/``kernel`` keys and *new* DNFs fail the run
-(exit 1); per-key speedup ratios are reported.  ``--compare PATH``
-skips running entirely and just diffs an existing trajectory file —
-the CI guard for committed trajectory points::
+(exit 1); per-key speedup ratios are reported.  Full runs additionally
+enforce the *required scenario families*
+(:data:`REQUIRED_SCENARIO_PREFIXES`, override with ``--require``): a
+trajectory file without any key in a required family — e.g. the
+``staircase_axes.*`` scenarios — fails even when the baseline predates
+the family.  ``--compare PATH`` skips running entirely and just
+applies both gates to an existing trajectory file — the CI guard for
+committed trajectory points::
 
-    python benchmarks/run_all.py --compare BENCH_PR2.json \
-        --baseline BENCH_PR1.json
+    python benchmarks/run_all.py --compare BENCH_PR3.json \
+        --baseline BENCH_PR2.json
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import math
 import platform
@@ -75,8 +81,15 @@ from repro.xquery import Database                         # noqa: E402
 #: Kernel labels used in the JSON records.
 LL_LIST = "ll-list"
 LL_HEAP = "ll-heap"
+LL_DICT = "ll-dict"        # dict-shaped staircase reference path
 VECTORIZED = "vectorized"
 AUTO = "auto"
+
+#: Scenario families a full trajectory file must contain — the gate
+#: that keeps newly-introduced scenario groups from silently dropping
+#: out of later runs (``--require`` overrides; ``--require none``
+#: disables).
+REQUIRED_SCENARIO_PREFIXES = ("staircase.", "staircase_axes.")
 
 
 class Runner:
@@ -333,7 +346,10 @@ def scenario_udf_nocand(r: Runner) -> None:
               lambda: db.query(nocand, strategy="ll"), scale=scale)
 
 
+@functools.lru_cache(maxsize=None)
 def _staircase_workload(scale: float):
+    # Cached: the staircase and staircase_axes scenarios share the same
+    # XMark build per scale (multi-second setup at scale 16).
     db, label = build_database(scale)
     stored = db.store.get("xmark.xml")
     shredded = stored.shredded
@@ -394,6 +410,57 @@ def scenario_staircase(r: Runner) -> dict | None:
     return summary
 
 
+def scenario_staircase_axes(r: Runner) -> dict | None:
+    """Staircase axis family across document scales: the dict-shaped
+    loop-lifted reference vs the batched columnar kernels; returns the
+    descendant-axis speedup at the largest size."""
+    from repro.staircase.kernels_vec import vec_staircase_join
+    from repro.staircase.loop_lifted import ll_axis_join
+
+    file = "bench_staircase_axes.py"
+    axes = ("descendant", "ancestor", "child", "following", "preceding")
+    scales = (0.25,) if r.smoke else (0.5, 4.0, 16.0)
+    summary = None
+    for scale in scales:
+        names = [f"staircase_axes.scale{scale}.{axis}" for axis in axes]
+        if not r.any_wanted(*names):
+            continue
+        shredded, context_rows, candidates, _ctx, _cand, label = \
+            _staircase_workload(scale)
+        n = len(context_rows) + len(candidates)
+        for axis in axes:
+            name = f"staircase_axes.scale{scale}.{axis}"
+            if scale == scales[0]:
+                # Kernel-agreement guard at the cheapest scale only;
+                # the committed differential suite covers the rest.
+                assert vec_staircase_join(
+                    axis, shredded, context_rows,
+                    candidates).to_dict() == ll_axis_join(
+                        shredded, axis, context_rows, candidates), \
+                    f"staircase kernels diverged on {axis}"
+            timings = {}
+            for kernel, fn in (
+                    (LL_DICT, lambda axis=axis: ll_axis_join(
+                        shredded, axis, context_rows, candidates)),
+                    (VECTORIZED, lambda axis=axis: vec_staircase_join(
+                        axis, shredded, context_rows, candidates))):
+                timings[kernel] = r.measure(
+                    name, file, kernel, n, fn,
+                    label=f"{name}[{kernel}]", scale=scale, size=label)
+            if axis == "descendant" \
+                    and math.isfinite(timings[LL_DICT]) \
+                    and math.isfinite(timings[VECTORIZED]) \
+                    and timings[VECTORIZED] > 0:
+                summary = {
+                    "scale": scale, "size": label, "n": int(n),
+                    "ll_dict_seconds": round(timings[LL_DICT], 6),
+                    "vectorized_seconds": round(timings[VECTORIZED], 6),
+                    "speedup": round(timings[LL_DICT]
+                                     / timings[VECTORIZED], 2),
+                }
+    return summary
+
+
 SCENARIOS = [
     scenario_region_index,
     scenario_table_joins,
@@ -408,6 +475,24 @@ SCENARIOS = [
 # ----------------------------------------------------------------------
 # trajectory comparison
 # ----------------------------------------------------------------------
+
+def missing_required_families(payload: dict,
+                              prefixes: tuple[str, ...]) -> list[str]:
+    """Hard failures for required scenario families absent (or entirely
+    DNF) in a trajectory file — the gate that makes a run without e.g.
+    the ``staircase_axes.*`` keys fail even against an older baseline."""
+    problems: list[str] = []
+    for prefix in prefixes:
+        hits = [s for s in payload["scenarios"]
+                if s["scenario"].startswith(prefix)]
+        if not hits:
+            problems.append(
+                f"required scenario family missing: {prefix}*")
+        elif all(s["dnf"] for s in hits):
+            problems.append(
+                f"required scenario family is all-DNF: {prefix}*")
+    return problems
+
 
 def compare_trajectories(new_payload: dict, baseline_payload: dict
                          ) -> tuple[list[str], list[str]]:
@@ -509,7 +594,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="DNF budget seconds per scenario "
                              "(default: 120, smoke: 30)")
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="output JSON path (default: BENCH_PR2.json "
+                        help="output JSON path (default: BENCH_PR3.json "
                              "at the repo root; BENCH_SMOKE.json with "
                              "--smoke)")
     parser.add_argument("--pr", default=None, metavar="LABEL",
@@ -524,7 +609,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--compare", default=None, metavar="PATH",
                         help="skip running: load this trajectory JSON "
                              "and only perform the baseline comparison")
+    parser.add_argument("--require", action="append", default=None,
+                        metavar="PREFIX",
+                        help="scenario-name prefix that must be present "
+                             "(and not all-DNF) in the trajectory file; "
+                             "repeatable (default: "
+                             f"{', '.join(REQUIRED_SCENARIO_PREFIXES)}; "
+                             "'none' disables)")
     args = parser.parse_args(argv)
+
+    if args.require is None:
+        required = REQUIRED_SCENARIO_PREFIXES
+    else:
+        required = tuple(p for p in args.require if p.lower() != "none")
 
     repeats = args.repeats if args.repeats is not None \
         else (1 if args.smoke else 3)
@@ -543,7 +640,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         out = Path(args.out) if args.out else \
             _ROOT / ("BENCH_SMOKE.json" if args.smoke
-                     else "BENCH_PR2.json")
+                     else "BENCH_PR3.json")
         pr_label = args.pr if args.pr else (
             out.stem[len("BENCH_"):] if out.stem.startswith("BENCH_")
             else out.stem)
@@ -556,6 +653,7 @@ def main(argv: list[str] | None = None) -> int:
         for scenario in SCENARIOS:
             scenario(runner)
         staircase_summary = scenario_staircase(runner)
+        axes_summary = scenario_staircase_axes(runner)
 
         payload = {
             "schema": "repro-bench-trajectory/1",
@@ -569,6 +667,7 @@ def main(argv: list[str] | None = None) -> int:
             "summary": {
                 "scenario_count": len(runner.records),
                 "staircase_vectorized_headline": staircase_summary,
+                "staircase_axes_headline": axes_summary,
             },
         }
         out.write_text(json.dumps(payload, indent=2) + "\n",
@@ -579,9 +678,23 @@ def main(argv: list[str] | None = None) -> int:
                   f"{staircase_summary['speedup']}x "
                   f"vs ll-list at scale {staircase_summary['scale']} "
                   f"({staircase_summary['size']})")
+        if axes_summary:
+            print(f"staircase axes headline: vectorized descendant "
+                  f"{axes_summary['speedup']}x vs ll-dict at scale "
+                  f"{axes_summary['scale']} ({axes_summary['size']})")
+
+    gate_problems: list[str] = []
+    gate_ran = required and not smoke \
+        and (args.compare is not None or args.only is None)
+    if gate_ran:
+        gate_problems = missing_required_families(payload, required)
 
     baseline_path = resolve_baseline(args.baseline, pr_label, smoke)
     if baseline_path is None:
+        if gate_problems:
+            for problem in gate_problems:
+                print(f"FAIL: {problem}")
+            return 1
         if args.compare is not None:
             print("no baseline to compare against "
                   "(pass --baseline PATH)")
@@ -592,6 +705,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     problems, report = compare_trajectories(payload, baseline)
+    problems = gate_problems + problems
     print(f"\ntrajectory diff vs {baseline_path.name} "
           f"({baseline.get('pr', '?')}):")
     for line in report:
@@ -600,7 +714,8 @@ def main(argv: list[str] | None = None) -> int:
         for problem in problems:
             print(f"FAIL: {problem}")
         return 1
-    print("trajectory check OK: no missing scenarios, no new DNFs")
+    print("trajectory check OK: no missing scenarios, no new DNFs"
+          + (", required families present" if gate_ran else ""))
     return 0
 
 

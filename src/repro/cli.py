@@ -14,9 +14,10 @@ Interactive::
     standoff> \quit
 
 Backslash commands: ``\load <uri> [path]``, ``\blob <uri> <path>``,
-``\docs``, ``\strategy udf|basic|ll``, ``\kernel ll|vectorized|auto``,
-``\timing on|off``, ``\help``, ``\quit``.  Everything else is evaluated
-as a query; results print one item per line (nodes serialized as XML).
+``\docs``, ``\strategy udf|basic|ll``, ``\kernel [standoff|staircase]
+ll|vectorized|auto``, ``\timing on|off``, ``\help``, ``\quit``.
+Everything else is evaluated as a query; results print one item per
+line (nodes serialized as XML).
 """
 
 from __future__ import annotations
@@ -26,7 +27,14 @@ import sys
 import time
 from pathlib import Path
 
-from repro.config import DEFAULT_KERNEL, SUPPORTED_KERNELS
+from repro.config import (
+    DEFAULT_KERNEL,
+    DEFAULT_STAIRCASE_KERNEL,
+    FAMILY_STAIRCASE,
+    FAMILY_STANDOFF,
+    SUPPORTED_FAMILIES,
+    SUPPORTED_KERNELS,
+)
 from repro.errors import ReproError
 from repro.xquery.engine import Database
 
@@ -37,7 +45,9 @@ HELP = """\
 \\blob <uri> <path>   register a BLOB file
 \\docs                list stored documents and BLOBs
 \\strategy <name>     set evaluation strategy: udf | basic | ll
-\\kernel <name>       set StandOff join kernel: ll | vectorized | auto
+\\kernel [family] <name>
+                     set the join kernel (ll | vectorized | auto) for a
+                     family (standoff | staircase; default standoff)
 \\timing on|off       print query wall-clock times
 \\help                this text
 \\quit                exit
@@ -51,6 +61,7 @@ class CliSession:
         self.db = Database()
         self.strategy = "basic"
         self.kernel = DEFAULT_KERNEL
+        self.staircase_kernel = DEFAULT_STAIRCASE_KERNEL
         self.timing = False
         self.out = out if out is not None else sys.stdout
         self.done = False
@@ -91,19 +102,28 @@ class CliSession:
         self.strategy = name
         self.emit(f"strategy = {name}")
 
-    def set_kernel(self, name: str) -> None:
+    def set_kernel(self, name: str, family: str = FAMILY_STANDOFF) -> None:
+        if family not in SUPPORTED_FAMILIES:
+            self.emit(f"unknown join family {family!r} "
+                      f"(expected {' or '.join(SUPPORTED_FAMILIES)})")
+            return
         if name not in SUPPORTED_KERNELS:
             self.emit(f"unknown kernel {name!r} "
                       f"(expected {' or '.join(SUPPORTED_KERNELS)})")
             return
-        self.kernel = name
-        self.emit(f"kernel = {name}")
+        if family == FAMILY_STAIRCASE:
+            self.staircase_kernel = name
+            self.emit(f"staircase kernel = {name}")
+        else:
+            self.kernel = name
+            self.emit(f"kernel = {name}")
 
     def run_query(self, text: str) -> None:
         start = time.perf_counter()
         try:
             result = self.db.query(text, strategy=self.strategy,
-                                   kernel=self.kernel)
+                                   kernel=self.kernel,
+                                   staircase_kernel=self.staircase_kernel)
         except ReproError as error:
             self.emit(f"error: {error}")
             return
@@ -139,6 +159,8 @@ class CliSession:
                 self.list_docs()
             elif command == "strategy" and args:
                 self.set_strategy(args[0])
+            elif command == "kernel" and len(args) == 2:
+                self.set_kernel(args[1], family=args[0])
             elif command == "kernel" and args:
                 self.set_kernel(args[0])
             elif command == "timing" and args:
@@ -168,12 +190,19 @@ def main(argv: list[str] | None = None) -> int:
                         choices=list(SUPPORTED_KERNELS),
                         help="StandOff join kernel (vectorized = batched "
                              "NumPy fast path; auto = per-join choice by "
-                             "input size)")
+                             "input size and overlap density)")
+    parser.add_argument("--staircase-kernel",
+                        default=DEFAULT_STAIRCASE_KERNEL,
+                        choices=list(SUPPORTED_KERNELS),
+                        help="Staircase axis kernel for the tree axes "
+                             "under strategy=ll (same choices; default "
+                             "auto)")
     args = parser.parse_args(argv)
 
     session = CliSession()
     session.strategy = args.strategy
     session.kernel = args.kernel
+    session.staircase_kernel = args.staircase_kernel
     try:
         for path in args.load:
             session.load_document(Path(path).name, path)

@@ -43,27 +43,44 @@ SUPPORTED_TYPES = ("xs:integer", "xs:long", "xs:double", "xs:decimal")
 
 
 # ----------------------------------------------------------------------
-# StandOff join kernel selection
+# Join kernel registry (StandOff joins + Staircase axes)
 # ----------------------------------------------------------------------
 
+#: The two loop-lifted join families of the paper (§4.1/§4.6): the
+#: StandOff MergeJoin over annotation regions and the Staircase Join
+#: over the shredded pre/size encoding.  Both families offer the same
+#: kernel choices, resolved through one registry.
+FAMILY_STANDOFF = "standoff"
+FAMILY_STAIRCASE = "staircase"
+
+SUPPORTED_FAMILIES = (FAMILY_STANDOFF, FAMILY_STAIRCASE)
+
 #: The reference kernel: row-at-a-time loop-lifted merge join
-#: (paper Listing 1; ``list`` or ``heap`` active-items structure).
+#: (paper Listing 1; ``list`` or ``heap`` active-items structure) for
+#: the StandOff family, the bisect/insort loop-lifted Staircase Join
+#: (``repro.staircase.loop_lifted``) for the staircase family.
 KERNEL_LL = "ll"
 
-#: The batched NumPy kernel (:mod:`repro.core.kernels_vec`): windowed
-#: ``searchsorted`` pruning over the start-clustered candidate table plus
-#: segmented prefix-max containment/overlap tests.
+#: The batched NumPy kernels (:mod:`repro.core.kernels_vec` /
+#: :mod:`repro.staircase.kernels_vec`): windowed ``searchsorted``
+#: pruning plus segmented prefix-max tests, building columnar results.
 KERNEL_VECTORIZED = "vectorized"
 
 #: Per-join automatic choice: ``ll`` for small inputs (where NumPy call
 #: overhead dominates the row-at-a-time merge's cost), ``vectorized``
 #: otherwise — the optimizer-style selection resolved per join call by
-#: :func:`select_kernel` once the input sizes are known.
+#: :meth:`KernelRegistry.select` once the input sizes are known.
 KERNEL_AUTO = "auto"
 
 SUPPORTED_KERNELS = (KERNEL_LL, KERNEL_VECTORIZED, KERNEL_AUTO)
 
 DEFAULT_KERNEL = KERNEL_LL
+
+#: Staircase axes default to ``auto``: the vectorized axis kernels are
+#: exact (tree windows never partially overlap, so there is no
+#: pair-expansion blowup and no trace-event concern), which makes the
+#: size-based per-join choice safe as the default.
+DEFAULT_STAIRCASE_KERNEL = KERNEL_AUTO
 
 #: ``auto`` threshold: total input rows (context + candidates) below
 #: which the reference merge beats the batched kernel.  The crossover
@@ -75,51 +92,137 @@ DEFAULT_KERNEL = KERNEL_LL
 #: microseconds, misclassifying a large one as ``ll`` costs far more.
 AUTO_KERNEL_MIN_ROWS = 128
 
+#: Density cutoff for ``auto``: when the estimated number of
+#: (iteration, candidate) probe pairs the batched StandOff kernel would
+#: materialize exceeds this bound, ``auto`` picks ``ll`` directly — the
+#: vectorized kernel would hit its identical ``PAIR_BUDGET`` and fall
+#: back to the reference merge anyway, after paying for the window
+#: computation.  Overlap-dense workloads (huge regions, many
+#: iterations) are exactly where the size-only cutoff misclassifies.
+AUTO_KERNEL_MAX_PAIRS = 32_000_000
 
-def validate_kernel(name: str) -> str:
-    """Check *name* against :data:`SUPPORTED_KERNELS`.
 
-    :raises ValueError: for unknown kernel names.
+@dataclass(frozen=True)
+class KernelSpec:
+    """One registered join kernel.
+
+    :param family: :data:`FAMILY_STANDOFF` or :data:`FAMILY_STAIRCASE`.
+    :param name: kernel name (``ll`` | ``vectorized`` | ``auto``).
+    :param batched: True for the NumPy batch kernels that build columnar
+        results natively.
+    :param traceable: True when the kernel can report Listing 1's
+        add/replace/trim/emit events to a trace sink.
     """
-    if name not in SUPPORTED_KERNELS:
-        raise ValueError(
-            f"unknown join kernel {name!r}; expected one of "
-            f"{list(SUPPORTED_KERNELS)}")
-    return name
+
+    family: str
+    name: str
+    batched: bool = False
+    traceable: bool = False
 
 
-def resolve_kernel(name: str, *, tracing: bool = False) -> str:
-    """Validate *name* and resolve the effective kernel.
+class KernelRegistry:
+    """The single kernel-selection mechanism for all join families.
 
-    Trace sinks observe the row-at-a-time merge (add/replace/trim/emit
-    events of Listing 1), which the batched kernel does not produce, so
-    tracing always falls back to the reference ``ll`` kernel.  ``auto``
-    stays ``auto`` (it needs input sizes; see :func:`select_kernel`).
+    Every layer (engine, CLI, step layer, bulk evaluator) resolves its
+    kernel choice here: :meth:`validate` checks a configured name,
+    :meth:`resolve` applies tracing constraints, :meth:`select` decides
+    ``auto`` per join call from input sizes and the probe-pair density
+    estimate.
     """
-    validate_kernel(name)
-    if tracing:
-        return KERNEL_LL
-    return name
 
+    def __init__(self) -> None:
+        self._specs: dict[tuple[str, str], KernelSpec] = {}
 
-def select_kernel(name: str, *, context_rows: int = 0,
-                  candidate_rows: int = 0, tracing: bool = False) -> str:
-    """Resolve the effective kernel for one join call.
+    def register(self, spec: KernelSpec) -> KernelSpec:
+        self._specs[(spec.family, spec.name)] = spec
+        return spec
 
-    Like :func:`resolve_kernel`, but with the join's input sizes in
-    hand so ``auto`` can be decided: below
-    :data:`AUTO_KERNEL_MIN_ROWS` total rows the row-at-a-time merge
-    wins (NumPy call overhead dominates), above it the batched kernel
-    does.
+    def families(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(f for f, _n in self._specs))
 
-    :returns: :data:`KERNEL_LL` or :data:`KERNEL_VECTORIZED`.
-    """
-    name = resolve_kernel(name, tracing=tracing)
-    if name == KERNEL_AUTO:
+    def names(self, family: str) -> tuple[str, ...]:
+        found = tuple(n for f, n in self._specs if f == family)
+        if not found:
+            raise ValueError(
+                f"unknown join family {family!r}; expected one of "
+                f"{list(self.families())}")
+        return found
+
+    def spec(self, family: str, name: str) -> KernelSpec:
+        self.validate(family, name)
+        return self._specs[(family, name)]
+
+    def validate(self, family: str, name: str) -> str:
+        """Check *name* against the family's registered kernels.
+
+        :raises ValueError: for unknown families or kernel names.
+        """
+        if (family, name) not in self._specs:
+            raise ValueError(
+                f"unknown join kernel {name!r} for the {family} family; "
+                f"expected one of {list(self.names(family))}")
+        return name
+
+    def resolve(self, family: str, name: str, *,
+                tracing: bool = False) -> str:
+        """Validate *name* and resolve the effective kernel.
+
+        Trace sinks observe the row-at-a-time merge (add/replace/trim/
+        emit events of Listing 1), which the batched kernels do not
+        produce, so tracing falls back to the family's traceable
+        kernel.  ``auto`` stays ``auto`` (it needs input sizes; see
+        :meth:`select`).
+
+        :raises ValueError: when tracing is requested and the family
+            registers no traceable kernel.
+        """
+        self.validate(family, name)
+        if tracing and not self._specs[(family, name)].traceable:
+            for spec in self._specs.values():
+                if spec.family == family and spec.traceable:
+                    return spec.name
+            raise ValueError(
+                f"the {family} family has no traceable kernel")
+        return name
+
+    def select(self, family: str, name: str, *, context_rows: int = 0,
+               candidate_rows: int = 0, probe_pairs: int | None = None,
+               tracing: bool = False) -> str:
+        """Resolve the effective kernel for one join call.
+
+        Like :meth:`resolve`, but with the join's input sizes in hand
+        so ``auto`` can be decided: below :data:`AUTO_KERNEL_MIN_ROWS`
+        total rows the row-at-a-time merge wins (NumPy call overhead
+        dominates).  When the caller supplies *probe_pairs* — the
+        estimated (iteration, candidate) pairs the batched kernel
+        would materialize (see
+        :func:`repro.core.kernels_vec.estimate_probe_pairs`) — a
+        density above :data:`AUTO_KERNEL_MAX_PAIRS` also selects
+        ``ll``: the vectorized kernel would exhaust its pair budget
+        and delegate to the reference merge anyway.
+
+        :returns: :data:`KERNEL_LL` or :data:`KERNEL_VECTORIZED`.
+        """
+        name = self.resolve(family, name, tracing=tracing)
+        if name != KERNEL_AUTO:
+            return name
         if context_rows + candidate_rows < AUTO_KERNEL_MIN_ROWS:
             return KERNEL_LL
+        if probe_pairs is not None and probe_pairs > AUTO_KERNEL_MAX_PAIRS:
+            return KERNEL_LL
         return KERNEL_VECTORIZED
-    return name
+
+
+#: The process-wide registry; both join families register their three
+#: kernel choices (``ll`` reference, ``vectorized`` batch, ``auto``).
+KERNELS = KernelRegistry()
+
+for _family in SUPPORTED_FAMILIES:
+    KERNELS.register(KernelSpec(_family, KERNEL_LL,
+                                traceable=_family == FAMILY_STANDOFF))
+    KERNELS.register(KernelSpec(_family, KERNEL_VECTORIZED, batched=True))
+    KERNELS.register(KernelSpec(_family, KERNEL_AUTO))
+del _family
 
 
 @dataclass(frozen=True)

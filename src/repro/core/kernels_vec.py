@@ -36,7 +36,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import KERNEL_VECTORIZED, select_kernel
+from repro.config import (
+    AUTO_KERNEL_MIN_ROWS,
+    FAMILY_STANDOFF,
+    KERNEL_AUTO,
+    KERNEL_VECTORIZED,
+    KERNELS,
+)
 from repro.core.mergejoin_ll import (
     IterContext,
     JoinResult,
@@ -203,6 +209,47 @@ def _expand_windows(j0: np.ndarray, j1: np.ndarray
 _pairs_to_result = ColumnarResult.from_pairs
 
 
+def _candidate_windows(seg: _Segments, candidates: RegionTable, *,
+                       wide: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Per-iteration candidate windows ``[j0, j1)`` on the
+    start-clustered candidate table.
+
+    Only candidates starting in (roughly) [first context start, max
+    context end] can satisfy the predicate against an iteration.
+    Probes go through the cached sort order (sorted probes keep the
+    binary search cache-friendly) and scatter back.
+    """
+    nseg = len(seg.uniq_iters)
+    ks = candidates.starts
+    lo_probes = seg.first_sorted
+    if wide:
+        lo_probes = lo_probes - candidates.max_length()
+    j0 = np.empty(nseg, np.int64)
+    j0[seg.first_order] = np.searchsorted(ks, lo_probes, side="left")
+    j1 = np.empty(nseg, np.int64)
+    j1[seg.maxend_order] = np.searchsorted(ks, seg.maxend_sorted,
+                                           side="right")
+    return j0, np.maximum(j0, j1)
+
+
+def estimate_probe_pairs(context: IterContext, candidates: RegionTable,
+                         *, wide: bool = False) -> int:
+    """The (iteration, candidate) probe pairs the batched semi-join
+    would materialize — the overlap-density signal ``kernel="auto"``
+    feeds into :meth:`repro.config.KernelRegistry.select`.
+
+    Two ``searchsorted`` probes per iteration over structures that are
+    cached anyway (the context segmentation, the start-clustered
+    candidate table), so the estimate costs a negligible fraction of
+    either kernel.
+    """
+    if len(context) == 0 or len(candidates) == 0:
+        return 0
+    seg = _context_segments(context)
+    j0, j1 = _candidate_windows(seg, candidates, wide=wide)
+    return int((j1 - j0).sum())
+
+
 # ----------------------------------------------------------------------
 # semi-joins
 # ----------------------------------------------------------------------
@@ -222,21 +269,9 @@ def _select_pairs(context: IterContext, candidates: RegionTable, *,
     nseg = len(seg.uniq_iters)
     cs, ce = seg.starts, seg.ends
 
-    ks, ke, kid = candidates.starts, candidates.ends, candidates.ids
-    # Window pruning on the start-clustered candidate table: only
-    # candidates starting in (roughly) [first context start, max context
-    # end] can satisfy the predicate against this iteration.  Probes go
-    # through the cached sort order (sorted probes keep the binary
-    # search cache-friendly) and scatter back.
-    lo_probes = seg.first_sorted
-    if wide:
-        lo_probes = lo_probes - candidates.max_length()
-    j0 = np.empty(nseg, np.int64)
-    j0[seg.first_order] = np.searchsorted(ks, lo_probes, side="left")
-    j1 = np.empty(nseg, np.int64)
-    j1[seg.maxend_order] = np.searchsorted(ks, seg.maxend_sorted,
-                                           side="right")
-    j1 = np.maximum(j0, j1)
+    ke, kid = candidates.ends, candidates.ids
+    ks = candidates.starts
+    j0, j1 = _candidate_windows(seg, candidates, wide=wide)
     seg_of_pair, pair_j, offs = _expand_windows(j0, j1)
     if len(pair_j) == 0:
         return (np.empty(0, seg.uniq_iters.dtype), np.empty(0, kid.dtype))
@@ -399,12 +434,22 @@ def kernel_join(op: StandoffOp, context: IterContext,
 
     ``kernel`` is ``"ll"`` (reference merge), ``"vectorized"``, or
     ``"auto"`` (pick ``ll`` below the input-size threshold where NumPy
-    call overhead dominates); tracing auto-falls back to ``ll`` — see
-    :func:`repro.config.select_kernel`.
+    call overhead dominates, or when the probe-pair density estimate
+    says the batched kernel would exhaust its pair budget and delegate
+    back anyway); tracing auto-falls back to ``ll``.  Selection goes
+    through the unified registry —
+    :meth:`repro.config.KernelRegistry.select`.
     """
-    kernel = select_kernel(kernel, context_rows=len(context),
-                           candidate_rows=len(candidates),
-                           tracing=trace is not None)
+    probe_pairs = None
+    if kernel == KERNEL_AUTO and trace is None \
+            and len(context) + len(candidates) >= AUTO_KERNEL_MIN_ROWS:
+        wide = op in (StandoffOp.SELECT_WIDE, StandoffOp.REJECT_WIDE)
+        probe_pairs = estimate_probe_pairs(context, candidates, wide=wide)
+    kernel = KERNELS.select(FAMILY_STANDOFF, kernel,
+                            context_rows=len(context),
+                            candidate_rows=len(candidates),
+                            probe_pairs=probe_pairs,
+                            tracing=trace is not None)
     if kernel == KERNEL_VECTORIZED:
         return vec_join(op, context, candidates)
     return ll_join(op, context, candidates,

@@ -6,15 +6,28 @@ from repro.staircase.encoding import (
     prune_context,
     window,
 )
+from repro.staircase.kernels_vec import (
+    staircase_join,
+    vec_ancestor,
+    vec_child,
+    vec_descendant,
+    vec_following,
+    vec_preceding,
+    vec_staircase_join,
+)
 from repro.staircase.loop_lifted import (
     iterated_descendant_join,
+    ll_axis_join,
     ll_descendant_join,
 )
 from repro.staircase.staircase import (
     ancestor_join,
+    anchor_pres,
     child_join,
     descendant_join,
+    following_join,
     parent_join,
+    preceding_join,
 )
 
 __all__ = [
@@ -24,8 +37,19 @@ __all__ = [
     "prune_context",
     "descendant_join",
     "ancestor_join",
+    "anchor_pres",
     "child_join",
     "parent_join",
+    "following_join",
+    "preceding_join",
     "ll_descendant_join",
+    "ll_axis_join",
     "iterated_descendant_join",
+    "staircase_join",
+    "vec_staircase_join",
+    "vec_descendant",
+    "vec_ancestor",
+    "vec_child",
+    "vec_following",
+    "vec_preceding",
 ]

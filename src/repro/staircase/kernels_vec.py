@@ -1,0 +1,399 @@
+"""Batched loop-lifted Staircase Join family (columnar results).
+
+The paper's §4.1/§4.6 point is that loop-lifted Staircase Join and
+loop-lifted StandOff MergeJoin are the *same* trick applied to two join
+families.  :mod:`repro.core.kernels_vec` is the batched NumPy StandOff
+side; this module is the Staircase side: every tree axis the shredded
+pre/size encoding supports, computed for **all** iterations of a
+for-loop in one batch of column operations, producing a
+:class:`~repro.relational.columnar.ColumnarResult` natively.
+
+The context is ``(iter, pre)`` pairs; per axis:
+
+* **descendant** — the genuine Staircase Join: rows are segmented per
+  iteration, nested context windows are pruned with a segmented prefix
+  max over window ends, and each surviving window takes a
+  ``searchsorted`` slice of the sorted candidate pool (or emits the
+  implicit pre range directly — no ``arange(len(doc))`` materialization
+  when the pool is unrestricted).  ``or_self`` widens the window to
+  include the context pre itself;
+* **ancestor** — a level-synchronous parent-column climb: all context
+  rows step to their parent per round, so the Python-level loop runs
+  ``O(tree depth)`` times regardless of context size;
+* **child** — a sorted-merge join of ``parent[pool]`` against the
+  distinct context pres, expanded per iteration group;
+* **following** / **preceding** — one threshold per iteration (the
+  tree property collapses the union over context nodes to a min/max):
+  ``following`` is the pool suffix past the smallest context subtree
+  end, ``preceding`` the pool prefix (ordered by subtree end) before
+  the largest context pre.  Attribute context nodes anchor at their
+  owner element, as in the DOM walk.
+
+Within one iteration, surviving descendant windows are disjoint and
+ascending, so the matched pairs leave the expansion already in
+``(iter, pre)``-lexicographic order and duplicate-free — canonicalizing
+into CSR form costs one boundary cut, no sort.
+
+Kernel selection goes through the unified registry
+(:data:`repro.config.KERNELS`, family
+:data:`~repro.config.FAMILY_STAIRCASE`): :func:`staircase_join`
+dispatches between these batched kernels and the dict-shaped reference
+path (:func:`repro.staircase.loop_lifted.ll_axis_join`) exactly like
+:func:`repro.core.kernels_vec.kernel_join` does for StandOff joins.
+The differential suite (``tests/test_staircase_vec.py``) asserts
+``vectorized == ll == iterated`` on all axes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.config import (
+    DEFAULT_STAIRCASE_KERNEL,
+    FAMILY_STAIRCASE,
+    KERNEL_VECTORIZED,
+    KERNELS,
+)
+from repro.relational.columnar import ColumnarResult, run_starts
+from repro.staircase.staircase import anchor_pres
+from repro.xmldb.shred import ShreddedDocument
+
+#: Composite-key headroom: the segmented prefix-max offset trick stays
+#: inside int64 (pre ranks are bounded by the document size, so this
+#: only trips on absurd segment counts — the loop fallback covers it).
+_INT64_BUDGET = 2 ** 62
+
+#: A loop-lifted staircase context: ``(iter, pre)`` pairs, any order.
+ContextPairs = Iterable[tuple[int, int]]
+
+
+# ----------------------------------------------------------------------
+# segmented primitives
+# ----------------------------------------------------------------------
+
+def _context_arrays(context: ContextPairs
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Unique ``(iter, pre)`` pairs as columns sorted by (iter, pre)."""
+    rows = np.asarray(list(context), dtype=np.int64)
+    if rows.size == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    its, pres = rows[:, 0], rows[:, 1]
+    order = np.lexsort((pres, its))
+    its, pres = its[order], pres[order]
+    keep = np.empty(len(its), bool)
+    keep[0] = True
+    np.logical_or(its[1:] != its[:-1], pres[1:] != pres[:-1],
+                  out=keep[1:])
+    return its[keep], pres[keep]
+
+
+def _segmented_cummax(values: np.ndarray,
+                      seg_off: np.ndarray) -> np.ndarray:
+    """Per-segment inclusive prefix maximum (segments start at seg_off)."""
+    if len(seg_off) <= 1:
+        return np.maximum.accumulate(values)
+    vmin = int(values.min())
+    span = int(values.max()) - vmin + 1
+    if len(seg_off) * span < _INT64_BUDGET:
+        base = np.zeros(len(values), np.int64)
+        base[seg_off[1:]] = 1
+        np.cumsum(base, out=base)
+        base *= span
+        comp = values - vmin + base
+        np.maximum.accumulate(comp, out=comp)
+        comp -= base
+        comp += vmin
+        return comp
+    out = np.empty_like(values)
+    bounds = np.append(seg_off, len(values)).tolist()
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        np.maximum.accumulate(values[a:b], out=out[a:b])
+    return out
+
+
+def _emit_ranges(seg_iters: np.ndarray, j0: np.ndarray, j1: np.ndarray,
+                 lookup: np.ndarray | None = None
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-segment index ranges ``[j0, j1)`` into flat
+    ``(iter, value)`` pair columns; values are the indices themselves
+    (the implicit-range scan) or ``lookup[index]``."""
+    counts = j1 - j0
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    offs = np.concatenate(([0], np.cumsum(counts)))
+    idx = np.arange(total, dtype=np.int64) \
+        - np.repeat(offs[:-1] - j0, counts)
+    iters = np.repeat(seg_iters, counts)
+    return iters, idx if lookup is None else lookup[idx]
+
+
+def _pool(doc: ShreddedDocument,
+          candidates: np.ndarray | None) -> np.ndarray:
+    """The sorted candidate pre pool (all rows when unrestricted)."""
+    if candidates is None:
+        return doc.pre
+    return np.asarray(candidates, dtype=np.int64)
+
+
+def _no_or_self(axis: str, or_self: bool) -> None:
+    if or_self:
+        raise ValueError(f"the {axis} axis has no or-self variant")
+
+
+def _climb(parent: np.ndarray, iters: np.ndarray, start: np.ndarray
+           ) -> tuple[np.ndarray, np.ndarray]:
+    """Level-synchronous parent-column climb from *start*.
+
+    All rows step to their parent per round (the Python-level loop runs
+    ``O(tree depth)`` times regardless of row count); returns the
+    emitted ``(iter, ancestor)`` pair columns, possibly empty.
+    """
+    pair_iters: list[np.ndarray] = []
+    pair_vals: list[np.ndarray] = []
+    cur_i, cur_v = iters, parent[start]
+    while True:
+        live = cur_v >= 0
+        if not live.any():
+            break
+        cur_i, cur_v = cur_i[live], cur_v[live]
+        pair_iters.append(cur_i)
+        pair_vals.append(cur_v)
+        cur_v = parent[cur_v]
+    if not pair_iters:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    return np.concatenate(pair_iters), np.concatenate(pair_vals)
+
+
+def _locate_sorted(pool: np.ndarray, values: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """``(insertion index, found mask)`` of *values* in the sorted
+    unique *pool* — the shared searchsorted-membership idiom."""
+    if len(pool) == 0:
+        return (np.zeros(len(values), np.int64),
+                np.zeros(len(values), bool))
+    idx = np.searchsorted(pool, values)
+    ok = idx < len(pool)
+    ok &= pool[np.minimum(idx, len(pool) - 1)] == values
+    return idx, ok
+
+
+def in_sorted(pool: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership mask of *values* in the sorted unique *pool*."""
+    return _locate_sorted(pool, values)[1]
+
+
+# ----------------------------------------------------------------------
+# axis kernels
+# ----------------------------------------------------------------------
+
+def vec_descendant(doc: ShreddedDocument, context: ContextPairs,
+                   candidates: np.ndarray | None = None, *,
+                   or_self: bool = False) -> ColumnarResult:
+    """Batched loop-lifted descendant step (Staircase Join proper).
+
+    :param context: ``(iter, pre)`` pairs, any order.
+    :param candidates: optional sorted candidate pre ranks (selection
+        pushdown); ``None`` scans the implicit ``[0, len(doc))`` range.
+    :param or_self: include the context pre itself when it is in the
+        candidate pool (the descendant-or-self window ``[pre, end]``).
+    """
+    its, pres = _context_arrays(context)
+    if len(its) == 0:
+        return ColumnarResult.empty()
+    seg_off = run_starts(its)
+    ends = pres + doc.size[pres]
+    # Segmented pruning: within an iteration (rows ascending on pre), a
+    # context window nested in an earlier window of the same iteration
+    # contributes nothing new — drop rows whose pre is covered by the
+    # exclusive prefix max of the window ends.
+    horizon = np.empty_like(ends)
+    horizon[1:] = _segmented_cummax(ends, seg_off)[:-1]
+    horizon[seg_off] = -1
+    keep = pres > horizon
+    its_k, pres_k, ends_k = its[keep], pres[keep], ends[keep]
+    lo = pres_k if or_self else pres_k + 1
+    if candidates is None:
+        iters, values = _emit_ranges(its_k, lo, ends_k + 1)
+    else:
+        cand = np.asarray(candidates, dtype=np.int64)
+        j0 = np.searchsorted(cand, lo, side="left")
+        j1 = np.searchsorted(cand, ends_k, side="right")
+        iters, values = _emit_ranges(its_k, j0, np.maximum(j0, j1),
+                                     lookup=cand)
+    # Surviving windows are disjoint + ascending per iteration, so the
+    # pairs are already (iter, value)-sorted and duplicate-free.
+    return ColumnarResult.from_pairs(iters, values, presorted=True,
+                                     unique=True)
+
+
+def vec_ancestor(doc: ShreddedDocument, context: ContextPairs,
+                 candidates: np.ndarray | None = None, *,
+                 or_self: bool = False) -> ColumnarResult:
+    """Batched ancestor step: level-synchronous parent-column climb."""
+    its, pres = _context_arrays(context)
+    if len(its) == 0:
+        return ColumnarResult.empty()
+    iters, values = _climb(doc.parent, its, pres)
+    if or_self:
+        iters = np.concatenate((its, iters))
+        values = np.concatenate((pres, values))
+    if candidates is not None:
+        ok = in_sorted(np.asarray(candidates, np.int64), values)
+        iters, values = iters[ok], values[ok]
+    return ColumnarResult.from_pairs(iters, values)
+
+
+def vec_child(doc: ShreddedDocument, context: ContextPairs,
+              candidates: np.ndarray | None = None, *,
+              or_self: bool = False) -> ColumnarResult:
+    """Batched child step: ``parent[pool]`` merged with the context."""
+    _no_or_self("child", or_self)
+    its, pres = _context_arrays(context)
+    if len(its) == 0:
+        return ColumnarResult.empty()
+    pool = _pool(doc, candidates)
+    if len(pool) == 0:
+        return ColumnarResult.empty()
+    par = doc.parent[pool]
+    # Group the context by pre: a pool entry whose parent matches a
+    # distinct context pre joins with every iteration in that group.
+    order = np.lexsort((its, pres))
+    pres_g, its_g = pres[order], its[order]
+    g_off = run_starts(pres_g)
+    uniq = pres_g[g_off]
+    g_sizes = np.diff(np.append(g_off, len(pres_g)))
+    idx, ok = _locate_sorted(uniq, par)
+    matched = pool[ok]
+    groups = idx[ok]
+    counts = g_sizes[groups]
+    total = int(counts.sum())
+    if total == 0:
+        return ColumnarResult.empty()
+    offs = np.concatenate(([0], np.cumsum(counts)))
+    pos = np.arange(total, dtype=np.int64) \
+        - np.repeat(offs[:-1] - g_off[groups], counts)
+    # A child has one parent, and (pre, iter) groups are deduplicated,
+    # so no (iter, child) pair repeats.
+    return ColumnarResult.from_pairs(its_g[pos],
+                                     np.repeat(matched, counts),
+                                     unique=True)
+
+
+def vec_following(doc: ShreddedDocument, context: ContextPairs,
+                  candidates: np.ndarray | None = None, *,
+                  or_self: bool = False) -> ColumnarResult:
+    """Batched following step: pool suffix past the smallest subtree end
+    of each iteration (attributes anchor at their owner element)."""
+    _no_or_self("following", or_self)
+    its, pres = _context_arrays(context)
+    if len(its) == 0:
+        return ColumnarResult.empty()
+    seg_off = run_starts(its)
+    anchors = anchor_pres(doc, pres)
+    sub_end = anchors + doc.size[anchors]
+    thresholds = np.minimum.reduceat(sub_end, seg_off)
+    pool = _pool(doc, candidates)
+    j0 = np.searchsorted(pool, thresholds, side="right")
+    j1 = np.full(len(j0), len(pool), np.int64)
+    iters, values = _emit_ranges(its[seg_off], j0, j1, lookup=pool)
+    return ColumnarResult.from_pairs(iters, values, presorted=True,
+                                     unique=True)
+
+
+def vec_preceding(doc: ShreddedDocument, context: ContextPairs,
+                  candidates: np.ndarray | None = None, *,
+                  or_self: bool = False) -> ColumnarResult:
+    """Batched preceding step.
+
+    ``{q : pre(q) + size(q) < t}`` (*t* the largest context pre of the
+    iteration, attributes anchored at their owner) equals the pre-rank
+    prefix ``[0, t)`` minus the ancestors of the node at *t* — the only
+    windows starting before *t* that end at or after it.  Emitting the
+    contiguous prefix keeps the pairs presorted (no output-sized
+    lexsort); the ancestor chains — at most tree-depth entries per
+    iteration — are then deleted by binary search.
+    """
+    _no_or_self("preceding", or_self)
+    its, pres = _context_arrays(context)
+    if len(its) == 0:
+        return ColumnarResult.empty()
+    seg_off = run_starts(its)
+    anchors = anchor_pres(doc, pres)
+    thresholds = np.maximum.reduceat(anchors, seg_off)
+    uniq_its = its[seg_off]
+    pool = _pool(doc, candidates)
+    j1 = np.searchsorted(pool, thresholds, side="left")
+    iters, values = _emit_ranges(uniq_its, np.zeros(len(j1), np.int64),
+                                 j1, lookup=pool)
+    if len(values):
+        span = len(doc) + 1
+        keys = iters * span + values
+        chain_i, chain_v = _climb(doc.parent, uniq_its, thresholds)
+        if len(chain_v):
+            pos, ok = _locate_sorted(keys, chain_i * span + chain_v)
+            if ok.any():
+                keep = np.ones(len(keys), bool)
+                keep[pos[ok]] = False
+                iters, values = iters[keep], values[keep]
+    return ColumnarResult.from_pairs(iters, values, presorted=True,
+                                     unique=True)
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+
+VEC_STAIRCASE_AXES = {
+    "descendant": vec_descendant,
+    "ancestor": vec_ancestor,
+    "child": vec_child,
+    "following": vec_following,
+    "preceding": vec_preceding,
+}
+
+
+def vec_staircase_join(axis: str, doc: ShreddedDocument,
+                       context: ContextPairs,
+                       candidates: np.ndarray | None = None, *,
+                       or_self: bool = False) -> ColumnarResult:
+    """Dispatch a batched staircase axis step by axis name."""
+    try:
+        fn = VEC_STAIRCASE_AXES[axis]
+    except KeyError:
+        raise ValueError(
+            f"no staircase kernel for axis {axis!r}; expected one of "
+            f"{sorted(VEC_STAIRCASE_AXES)}") from None
+    return fn(doc, context, candidates, or_self=or_self)
+
+
+def staircase_join(axis: str, doc: ShreddedDocument,
+                   context: ContextPairs,
+                   candidates: np.ndarray | None = None, *,
+                   or_self: bool = False,
+                   kernel: str = DEFAULT_STAIRCASE_KERNEL
+                   ) -> ColumnarResult | dict[int, list[int]]:
+    """Run a loop-lifted staircase axis step under the selected kernel.
+
+    The staircase counterpart of
+    :func:`repro.core.kernels_vec.kernel_join`: ``kernel`` is resolved
+    through the unified registry (family
+    :data:`~repro.config.FAMILY_STAIRCASE`) — ``"ll"`` runs the
+    dict-shaped reference path
+    (:func:`repro.staircase.loop_lifted.ll_axis_join`), ``"vectorized"``
+    the batched columnar kernels, ``"auto"`` picks per call by input
+    size.
+    """
+    from repro.staircase.loop_lifted import ll_axis_join
+
+    context = list(context)
+    n_cand = len(candidates) if candidates is not None else len(doc)
+    effective = KERNELS.select(FAMILY_STAIRCASE, kernel,
+                               context_rows=len(context),
+                               candidate_rows=n_cand)
+    if effective == KERNEL_VECTORIZED:
+        return vec_staircase_join(axis, doc, context, candidates,
+                                  or_self=or_self)
+    return ll_axis_join(doc, axis, context, candidates, or_self=or_self)

@@ -36,9 +36,11 @@ def ll_descendant_join(doc: ShreddedDocument,
         return {}
     size = doc.size
     rows = sorted({(int(pre), int(it)) for it, pre in context})
-    cand = (np.arange(len(doc), dtype=np.int64) if candidates is None
-            else np.asarray(candidates, dtype=np.int64))
-    cand_list = cand.tolist()
+    # An unrestricted candidate sequence is the implicit pre range; a
+    # Python range scans it positionally without materializing the
+    # full ``arange(len(doc))`` (the merge only ever indexes forward).
+    cand_list = (range(len(doc)) if candidates is None
+                 else np.asarray(candidates, dtype=np.int64).tolist())
     n_cand = len(cand_list)
 
     # Active windows: (window_end, iter), ascending; one window per iter.
@@ -107,4 +109,59 @@ def iterated_descendant_join(doc: ShreddedDocument,
                               candidates)
         if len(res):
             out[it] = res.tolist()
+    return out
+
+
+def _self_pres(pres: list[int],
+               candidates: np.ndarray | None) -> list[int]:
+    """Context pres surviving the or-self pool membership test."""
+    if candidates is None:
+        return sorted(set(pres))
+    pool = set(np.asarray(candidates, dtype=np.int64).tolist())
+    return sorted({pre for pre in pres if pre in pool})
+
+
+def ll_axis_join(doc: ShreddedDocument, axis: str,
+                 context: list[tuple[int, int]],
+                 candidates: np.ndarray | None = None, *,
+                 or_self: bool = False) -> dict[int, list[int]]:
+    """Reference loop-lifted staircase axis step (dict results).
+
+    The ``ll`` kernel of the staircase family: the descendant axis runs
+    the single-pass :func:`ll_descendant_join`, the other axes call the
+    per-set joins of :mod:`repro.staircase.staircase` once per
+    iteration.  ``or_self`` includes a context pre when it is in the
+    candidate pool.  Semantically identical to
+    :func:`repro.staircase.kernels_vec.vec_staircase_join`.
+    """
+    from repro.staircase import staircase as sj
+
+    per_iter: dict[int, list[int]] = {}
+    for it, pre in context:
+        per_iter.setdefault(int(it), []).append(int(pre))
+
+    if axis == "descendant":
+        out = ll_descendant_join(doc, context, candidates)
+    else:
+        try:
+            fn = {"ancestor": sj.ancestor_join,
+                  "child": sj.child_join,
+                  "following": sj.following_join,
+                  "preceding": sj.preceding_join}[axis]
+        except KeyError:
+            raise ValueError(
+                f"no staircase reference join for axis {axis!r}"
+            ) from None
+        out = {}
+        for it, pres in per_iter.items():
+            res = fn(doc, np.asarray(pres, dtype=np.int64), candidates)
+            if len(res):
+                out[it] = res.tolist()
+    if or_self:
+        if axis not in ("descendant", "ancestor"):
+            raise ValueError(f"the {axis} axis has no or-self variant")
+        for it, pres in per_iter.items():
+            extra = _self_pres(pres, candidates)
+            if extra:
+                out[it] = sorted(set(out.get(it, [])) | set(extra))
     return out

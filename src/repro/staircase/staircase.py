@@ -12,7 +12,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.staircase.encoding import prune_context
+from repro.xmldb.dom import Attr
 from repro.xmldb.shred import ShreddedDocument
+
+
+def anchor_pres(doc: ShreddedDocument, pres: np.ndarray) -> np.ndarray:
+    """Map attribute pre ranks to their owner element's pre.
+
+    The following/preceding axes of an attribute are those of its owner
+    element (the DOM walk restarts at the parent when the anchor has no
+    siblings); all other node kinds anchor at themselves.
+    """
+    kinds = doc.kind[pres]
+    if not np.any(kinds == Attr.kind):
+        return pres
+    return np.where(kinds == Attr.kind, doc.parent[pres], pres)
 
 
 def descendant_join(doc: ShreddedDocument, context_pres: np.ndarray,
@@ -90,3 +104,40 @@ def parent_join(doc: ShreddedDocument, context_pres: np.ndarray
     parents = doc.parent[np.asarray(context_pres, dtype=np.int64)]
     parents = parents[parents >= 0]
     return np.unique(parents)
+
+
+def following_join(doc: ShreddedDocument, context_pres: np.ndarray,
+                   candidates: np.ndarray | None = None) -> np.ndarray:
+    """Following axis: nodes past every context subtree.
+
+    In the pre/size encoding the following set of a node *v* is exactly
+    ``{q : pre(q) > pre(v) + size(v)}``, so the union over a context set
+    is one threshold — the smallest subtree end.  Attributes anchor at
+    their owner element (:func:`anchor_pres`).
+    """
+    if len(context_pres) == 0:
+        return np.empty(0, dtype=np.int64)
+    pres = np.unique(np.asarray(context_pres, dtype=np.int64))
+    anchors = anchor_pres(doc, pres)
+    threshold = int((anchors + doc.size[anchors]).min())
+    pool = doc.pre if candidates is None \
+        else np.asarray(candidates, dtype=np.int64)
+    return pool[np.searchsorted(pool, threshold, side="right"):]
+
+
+def preceding_join(doc: ShreddedDocument, context_pres: np.ndarray,
+                   candidates: np.ndarray | None = None) -> np.ndarray:
+    """Preceding axis: nodes whose subtree ends before every context.
+
+    ``{q : pre(q) + size(q) < pre(v)}`` for some context *v* collapses
+    to one threshold — the largest context pre; ancestors end at or
+    after every context pre, so they are excluded without an explicit
+    check.
+    """
+    if len(context_pres) == 0:
+        return np.empty(0, dtype=np.int64)
+    pres = np.unique(np.asarray(context_pres, dtype=np.int64))
+    threshold = int(anchor_pres(doc, pres).max())
+    pool = doc.pre if candidates is None \
+        else np.asarray(candidates, dtype=np.int64)
+    return np.sort(pool[pool + doc.size[pool] < threshold])

@@ -72,6 +72,8 @@ class ShreddedDocument:
 
         # element-name index: name id -> sorted pre array
         element_mask = self.kind == Element.kind
+        self._kind_pres: dict[int, np.ndarray] = {}
+        self._non_attribute: np.ndarray | None = None
         self._element_index: dict[int, np.ndarray] = {}
         if element_mask.any():
             el_pres = self.pre[element_mask]
@@ -104,6 +106,22 @@ class ShreddedDocument:
     def all_element_pres(self) -> np.ndarray:
         """Sorted pre ranks of all element nodes."""
         return self.pre[self.kind == Element.kind]
+
+    def pres_of_kind(self, kind: int) -> np.ndarray:
+        """Sorted pre ranks of the nodes of one kind (cached)."""
+        cached = self._kind_pres.get(kind)
+        if cached is None:
+            cached = self.pre[self.kind == kind]
+            self._kind_pres[kind] = cached
+        return cached
+
+    def non_attribute_pres(self) -> np.ndarray:
+        """Sorted pre ranks of all non-attribute nodes (cached) — the
+        ``node()`` candidate pool of the tree axes, where attributes are
+        never principal nodes."""
+        if self._non_attribute is None:
+            self._non_attribute = self.pre[self.kind != Attr.kind]
+        return self._non_attribute
 
     def post(self) -> np.ndarray:
         """Post-order ranks derived from pre/size (pre + size)."""

@@ -121,6 +121,21 @@ REVERSE_AXES = frozenset({
     "preceding", "preceding-sibling",
 })
 
+#: XPath axes the Staircase Join family evaluates on the shredded
+#: pre/size encoding, mapped to ``(staircase axis, or_self)`` — the
+#: bulk evaluator routes predicate-free steps over these axes through
+#: :func:`repro.staircase.kernels_vec.staircase_join` (kernel resolved
+#: by the unified registry) instead of the per-node DOM walk.
+STAIRCASE_AXES: dict[str, tuple[str, bool]] = {
+    "descendant": ("descendant", False),
+    "descendant-or-self": ("descendant", True),
+    "ancestor": ("ancestor", False),
+    "ancestor-or-self": ("ancestor", True),
+    "child": ("child", False),
+    "following": ("following", False),
+    "preceding": ("preceding", False),
+}
+
 
 def matches_test(node: Node, test: NodeTest, axis: str = "child") -> bool:
     """Apply a node test; the principal node kind depends on the axis

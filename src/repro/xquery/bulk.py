@@ -20,11 +20,14 @@ and quantifiers are loop-lifted like everything else.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import (
     UnsupportedFeatureError,
     XQueryStaticError,
     XQueryTypeError,
 )
+from repro.relational.columnar import ColumnarResult
 from repro.relational.sequence import (
     IterSeq,
     LazyIterData,
@@ -32,9 +35,23 @@ from repro.relational.sequence import (
     expand_loop,
     unlift,
 )
-from repro.xmldb.dom import Document, Element, Node, Text, document_order
+from repro.xmldb.dom import (
+    Attr,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+    document_order,
+)
 from repro.xquery import ast
-from repro.xquery.axes import AXIS_FUNCTIONS, REVERSE_AXES, matches_test
+from repro.xquery.axes import (
+    AXIS_FUNCTIONS,
+    REVERSE_AXES,
+    STAIRCASE_AXES,
+    matches_test,
+)
 from repro.xquery.context import DynamicContext, Focus
 from repro.xquery.evaluator import (
     _copy_node,
@@ -435,12 +452,9 @@ def _bulk_step(step, env: BulkEnv, context: IterSeq | None) -> IterSeq:
 
 def _bulk_standard_axis(step: ast.AxisStep, env: BulkEnv,
                         context: IterSeq) -> IterSeq:
-    if step.axis == "descendant" and not step.predicates:
-        lifted = _try_ll_staircase(step, env, context, or_self=False)
-        if lifted is not None:
-            return lifted
-    if step.axis == "descendant-or-self" and not step.predicates:
-        lifted = _try_ll_staircase(step, env, context, or_self=True)
+    if not step.predicates and step.axis in STAIRCASE_AXES:
+        axis, or_self = STAIRCASE_AXES[step.axis]
+        lifted = _staircase_axis_step(step, env, context, axis, or_self)
         if lifted is not None:
             return lifted
 
@@ -469,19 +483,70 @@ def _bulk_standard_axis(step: ast.AxisStep, env: BulkEnv,
     return IterSeq(out)
 
 
-def _try_ll_staircase(step: ast.AxisStep, env: BulkEnv,
-                      context: IterSeq, or_self: bool) -> IterSeq | None:
-    """Loop-lifted Staircase Join fast path for descendant steps.
+#: Sentinel: the node test has no candidate pool on the shredded
+#: encoding (fall back to the DOM walk).
+_UNSUPPORTED_TEST = object()
+
+
+def _elements_matching_name(shredded, name: str):
+    """Pres of the elements a name test matches, via the element index.
+
+    :func:`~repro.xquery.axes.matches_test` accepts an element whenever
+    the local names agree (``tag == name`` implies that), so the pool
+    is the union of the element-index entries sharing the test's local
+    name — one entry in the common unprefixed case.
+    """
+    local = name.rpartition(":")[2]
+    chunks = [shredded.elements_named(tag) for tag in shredded.names
+              if tag.rpartition(":")[2] == local]
+    chunks = [c for c in chunks if len(c)]
+    if not chunks:
+        return shredded.elements_named(name)
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.sort(np.concatenate(chunks))
+
+
+def _staircase_candidates(shredded, test: ast.NodeTest):
+    """The candidate pre pool of a node test, or ``_UNSUPPORTED_TEST``.
+
+    The tree axes never yield attribute nodes (attributes are not
+    children, and only the attribute axis has them as principal nodes),
+    so the ``node()`` pool is the non-attribute rows — keeping the fast
+    path in exact agreement with the DOM walk.
+    """
+    if test.kind == "name":
+        if test.name == "*":
+            return shredded.all_element_pres()
+        return _elements_matching_name(shredded, test.name)
+    if test.kind == "node":
+        return shredded.non_attribute_pres()
+    if test.kind == "text":
+        return shredded.pres_of_kind(Text.kind)
+    if test.kind == "comment":
+        return shredded.pres_of_kind(Comment.kind)
+    if test.kind == "processing-instruction":
+        return shredded.pres_of_kind(ProcessingInstruction.kind)
+    return _UNSUPPORTED_TEST
+
+
+def _staircase_axis_step(step: ast.AxisStep, env: BulkEnv,
+                         context: IterSeq, axis: str,
+                         or_self: bool) -> IterSeq | None:
+    """Loop-lifted Staircase Join fast path for the tree axes.
 
     Applies when every context node belongs to a single stored document
-    and the test is a name test or ``node()``/``text()``.  Returns None
-    to fall back to the generic DOM walk.
+    and the test is a name or kind test; the kernel (reference dict path
+    vs batched columnar) is resolved per call through the unified
+    registry from ``ctx.staircase_kernel``.  A columnar result feeds the
+    lazy node view directly — no ``dict[int, list]`` round-trip.
+    Returns None to fall back to the generic DOM walk.
     """
-    from repro.staircase.loop_lifted import ll_descendant_join
+    from repro.staircase.kernels_vec import staircase_join
 
     stored = None
     rows: list[tuple[int, int]] = []
-    self_nodes: dict[int, list[Node]] = {}
+    attr_self: dict[int, list[Node]] = {}
     for it in env.loop:
         for node in context.items_for(it):
             if not isinstance(node, Node):
@@ -497,32 +562,36 @@ def _try_ll_staircase(step: ast.AxisStep, env: BulkEnv,
             elif stored is not found:
                 return None
             rows.append((it, node.pre))
-            if or_self and matches_test(node, step.test, step.axis):
-                self_nodes.setdefault(it, []).append(node)
+            if or_self and isinstance(node, Attr) \
+                    and matches_test(node, step.test, step.axis):
+                # Or-self inclusion is pool membership inside the
+                # kernel; attribute context nodes are outside every
+                # tree-axis pool, so their self-match rides along
+                # DOM-side.
+                attr_self.setdefault(it, []).append(node)
     if stored is None:
         return IterSeq({})
     shredded = stored.shredded
-    test = step.test
-    if test.kind == "name":
-        candidates = (None if test.name == "*"
-                      else shredded.elements_named(test.name))
-        if test.name == "*":
-            candidates = shredded.all_element_pres()
-    elif test.kind == "node":
-        candidates = None
-    elif test.kind == "text":
-        candidates = shredded.pre[shredded.kind == Text.kind]
-    else:
+    candidates = _staircase_candidates(shredded, step.test)
+    if candidates is _UNSUPPORTED_TEST:
         return None
-    result = ll_descendant_join(shredded, rows, candidates)
+    result = staircase_join(
+        axis, shredded, rows, candidates, or_self=or_self,
+        kernel=env.ctx.staircase_kernel)
     doc = stored.document
+    if isinstance(result, ColumnarResult) and not attr_self:
+        def decode(iteration: int, _result=result, _doc=doc) -> list:
+            return [_doc.node_by_pre(pre)
+                    for pre in _result.values_for(iteration).tolist()]
+
+        return IterSeq(LazyIterData(result.iterations(), decode))
     out: dict[int, list] = {}
-    for it, pres in result.items():
-        out[it] = [doc.node_by_pre(pre) for pre in pres]
-    if or_self:
-        for it, extra in self_nodes.items():
-            merged = document_order([*out.get(it, []), *extra])
-            out[it] = merged
+    for it in result:       # Mapping protocol covers both result shapes
+        nodes = [doc.node_by_pre(pre) for pre in result[it]]
+        if nodes:
+            out[it] = nodes
+    for it, extra in attr_self.items():
+        out[it] = document_order([*out.get(it, []), *extra])
     return IterSeq(out)
 
 

@@ -5,8 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.config import DEFAULT_KERNEL, STANDOFF_OPTION_NAMES, \
-    StandoffConfig
+from repro.config import DEFAULT_KERNEL, DEFAULT_STAIRCASE_KERNEL, \
+    STANDOFF_OPTION_NAMES, StandoffConfig
 from repro.core.region_index import RegionIndex
 from repro.core.steps import Strategy
 from repro.errors import XQueryDynamicError, XQueryStaticError
@@ -84,7 +84,8 @@ class DynamicContext:
                  strategy: Strategy = Strategy.BASIC,
                  active_structure: str = "list",
                  blobs=None,
-                 kernel: str = DEFAULT_KERNEL):
+                 kernel: str = DEFAULT_KERNEL,
+                 staircase_kernel: str = DEFAULT_STAIRCASE_KERNEL):
         from repro.xmldb.blob import BlobStore
 
         self.store = store
@@ -94,6 +95,9 @@ class DynamicContext:
         self.active_structure = active_structure
         #: StandOff join kernel: "ll" | "vectorized" | "auto"
         self.kernel = kernel
+        #: Staircase axis kernel (same choices, resolved per step by
+        #: the unified registry)
+        self.staircase_kernel = staircase_kernel
         #: name-test pushdown policy: "always" | "never" | "auto"
         self.pushdown = "always"
         self.variables: dict[str, Sequence] = {}
@@ -116,6 +120,7 @@ class DynamicContext:
         ctx.strategy = self.strategy
         ctx.active_structure = self.active_structure
         ctx.kernel = self.kernel
+        ctx.staircase_kernel = self.staircase_kernel
         ctx.pushdown = self.pushdown
         ctx.variables = dict(self.variables)
         ctx.focus = self.focus

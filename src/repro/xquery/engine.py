@@ -23,7 +23,13 @@ Example::
 
 from __future__ import annotations
 
-from repro.config import DEFAULT_KERNEL, validate_kernel
+from repro.config import (
+    DEFAULT_KERNEL,
+    DEFAULT_STAIRCASE_KERNEL,
+    FAMILY_STAIRCASE,
+    FAMILY_STANDOFF,
+    KERNELS,
+)
 from repro.core.steps import Strategy
 from repro.errors import XQueryTypeError
 from repro.xmldb.dom import Node
@@ -117,6 +123,7 @@ class Database:
               active_structure: str = "list",
               pushdown: str = "always",
               kernel: str = DEFAULT_KERNEL,
+              staircase_kernel: str = DEFAULT_STAIRCASE_KERNEL,
               context_uri: str | None = None,
               variables: dict | None = None) -> QueryResult:
         """Parse and evaluate a query.
@@ -133,7 +140,12 @@ class Database:
             reference merge), ``vectorized`` (batched NumPy kernels
             building columnar results) or ``auto`` (per-join choice:
             ``ll`` below the input-size threshold where NumPy call
-            overhead dominates).
+            overhead dominates, and for overlap densities that would
+            exhaust the vectorized pair budget).
+        :param staircase_kernel: Staircase axis kernel for the tree
+            axes under the loop-lifted strategy — same choices,
+            resolved per step through the unified kernel registry
+            (default ``auto``).
         :param context_uri: optional document whose root becomes the
             initial context item (so relative paths like ``//a`` work
             without ``doc(...)``).
@@ -152,9 +164,11 @@ class Database:
             raise ValueError(
                 f"unknown pushdown policy {pushdown!r}; expected "
                 "'always', 'never' or 'auto'")
-        validate_kernel(kernel)
+        KERNELS.validate(FAMILY_STANDOFF, kernel)
+        KERNELS.validate(FAMILY_STAIRCASE, staircase_kernel)
         ctx = DynamicContext(self.store, static, strat, active_structure,
-                             blobs=self.blobs, kernel=kernel)
+                             blobs=self.blobs, kernel=kernel,
+                             staircase_kernel=staircase_kernel)
         ctx.pushdown = pushdown
         if variables:
             for name, value in variables.items():

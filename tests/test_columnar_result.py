@@ -16,11 +16,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import (
+    AUTO_KERNEL_MAX_PAIRS,
     AUTO_KERNEL_MIN_ROWS,
+    FAMILY_STAIRCASE,
+    FAMILY_STANDOFF,
     KERNEL_AUTO,
     KERNEL_LL,
     KERNEL_VECTORIZED,
-    select_kernel,
+    KERNELS,
 )
 from repro.core import IterContext, RegionTable, StandoffOp, standoff_step
 from repro.core.kernels_vec import kernel_join, vec_join
@@ -310,17 +313,43 @@ class TestLazyIterData:
 
 class TestAutoKernel:
     def test_select_kernel_threshold(self):
-        assert select_kernel(KERNEL_AUTO, context_rows=1,
-                             candidate_rows=1) == KERNEL_LL
+        def select(name, **kwargs):
+            return KERNELS.select(FAMILY_STANDOFF, name, **kwargs)
+
+        assert select(KERNEL_AUTO, context_rows=1,
+                      candidate_rows=1) == KERNEL_LL
         big = AUTO_KERNEL_MIN_ROWS
-        assert select_kernel(KERNEL_AUTO, context_rows=big,
-                             candidate_rows=0) == KERNEL_VECTORIZED
-        assert select_kernel(KERNEL_AUTO, context_rows=big,
-                             tracing=True) == KERNEL_LL
-        assert select_kernel(KERNEL_LL, context_rows=10**9) == KERNEL_LL
-        assert select_kernel(KERNEL_VECTORIZED) == KERNEL_VECTORIZED
+        assert select(KERNEL_AUTO, context_rows=big,
+                      candidate_rows=0) == KERNEL_VECTORIZED
+        assert select(KERNEL_AUTO, context_rows=big,
+                      tracing=True) == KERNEL_LL
+        assert select(KERNEL_LL, context_rows=10**9) == KERNEL_LL
+        assert select(KERNEL_VECTORIZED) == KERNEL_VECTORIZED
         with pytest.raises(ValueError, match="unknown join kernel"):
-            select_kernel("simd")
+            select("simd")
+
+    def test_select_kernel_density(self):
+        """The density-aware component: a probe-pair estimate past the
+        pair budget sends auto back to the reference merge (for every
+        family that registers a vectorized kernel)."""
+        big = AUTO_KERNEL_MIN_ROWS
+        for family in (FAMILY_STANDOFF, FAMILY_STAIRCASE):
+            assert KERNELS.select(family, KERNEL_AUTO, context_rows=big,
+                                  probe_pairs=AUTO_KERNEL_MAX_PAIRS + 1
+                                  ) == KERNEL_LL
+            assert KERNELS.select(family, KERNEL_AUTO, context_rows=big,
+                                  probe_pairs=AUTO_KERNEL_MAX_PAIRS
+                                  ) == KERNEL_VECTORIZED
+
+    def test_registry_families(self):
+        assert set(KERNELS.families()) == {FAMILY_STANDOFF,
+                                           FAMILY_STAIRCASE}
+        for family in KERNELS.families():
+            assert set(KERNELS.names(family)) == {KERNEL_LL,
+                                                  KERNEL_VECTORIZED,
+                                                  KERNEL_AUTO}
+        with pytest.raises(ValueError, match="unknown join family"):
+            KERNELS.validate("quantum", KERNEL_LL)
 
     @pytest.mark.parametrize("op", list(StandoffOp))
     def test_kernel_join_auto_matches_reference(self, op):

@@ -23,11 +23,11 @@ import numpy as np
 import pytest
 
 from repro.config import (
+    FAMILY_STANDOFF,
     KERNEL_AUTO,
     KERNEL_LL,
     KERNEL_VECTORIZED,
-    resolve_kernel,
-    validate_kernel,
+    KERNELS,
 )
 from repro.core import Area, IterContext, Region, RegionTable, StandoffOp
 from repro.core.kernels_vec import kernel_join, vec_join
@@ -182,11 +182,14 @@ def test_empty_inputs():
 # ----------------------------------------------------------------------
 
 def test_resolve_kernel_tracing_falls_back_to_ll():
-    assert resolve_kernel(KERNEL_VECTORIZED, tracing=True) == KERNEL_LL
-    assert resolve_kernel(KERNEL_VECTORIZED) == KERNEL_VECTORIZED
-    assert resolve_kernel(KERNEL_LL, tracing=True) == KERNEL_LL
+    def resolve(name, **kwargs):
+        return KERNELS.resolve(FAMILY_STANDOFF, name, **kwargs)
+
+    assert resolve(KERNEL_VECTORIZED, tracing=True) == KERNEL_LL
+    assert resolve(KERNEL_VECTORIZED) == KERNEL_VECTORIZED
+    assert resolve(KERNEL_LL, tracing=True) == KERNEL_LL
     with pytest.raises(ValueError, match="unknown join kernel"):
-        validate_kernel("simd")
+        KERNELS.validate(FAMILY_STANDOFF, "simd")
 
 
 def test_kernel_join_trace_uses_reference_path():
