@@ -14,11 +14,15 @@ bench_*.py it mirrors), ``kernel`` (``ll-list`` | ``ll-heap`` |
 ``ll-dict`` | ``vectorized`` | ``auto`` | ``null`` for non-join
 scenarios), ``n`` (workload size), ``seconds`` (median wall time;
 ``null`` + ``dnf: true`` on budget overrun) and ``repeats``.  The
-staircase-vs-standoff and staircase-axis scenarios sweep document
-scales; the summary block records the vectorized-kernel speedups at the
-largest size — the perf-trajectory headlines.
+staircase-vs-standoff, staircase-axis and sharding scenarios sweep
+scales; the summary block records the vectorized-kernel and fan-out
+speedups at the largest size — the perf-trajectory headlines.  The
+``sharding.*`` family measures the worker-pool fan-out
+(:mod:`repro.exec.sharding`) against the deterministic serial
+reference, per join family (``.serial`` vs ``.workers4`` scenario
+variants; each record carries the ``workers`` setting).
 
-Output defaults to ``BENCH_PR3.json`` (``BENCH_SMOKE.json`` with
+Output defaults to ``BENCH_PR4.json`` (``BENCH_SMOKE.json`` with
 ``--smoke``) at the repository root.
 
 **Trajectory comparison**: a full run whose label is ``PR<k>`` is
@@ -89,7 +93,8 @@ AUTO = "auto"
 #: that keeps newly-introduced scenario groups from silently dropping
 #: out of later runs (``--require`` overrides; ``--require none``
 #: disables).
-REQUIRED_SCENARIO_PREFIXES = ("staircase.", "staircase_axes.")
+REQUIRED_SCENARIO_PREFIXES = ("staircase.", "staircase_axes.",
+                              "sharding.")
 
 
 class Runner:
@@ -461,6 +466,102 @@ def scenario_staircase_axes(r: Runner) -> dict | None:
     return summary
 
 
+@functools.lru_cache(maxsize=None)
+def _sharding_standoff_workload(scale: float, smoke: bool):
+    """A dense loop-lifted StandOff workload whose iteration count
+    sweeps with *scale* (the candidate table stays fixed, like the
+    ``table_joins`` family)."""
+    n_cand = 2_000 if smoke else 20_000
+    n_iters = max(4, int(round((8 if smoke else 31.25) * scale)))
+    per_iter = 20
+    index = synthetic_regions(n_cand, seed=3)
+    ids = index.annotated_ids().tolist()
+    context = []
+    cursor = 0
+    for it in range(n_iters):
+        for _ in range(per_iter):
+            context.append((it, 0, ids[cursor % len(ids)]))
+            cursor += 17
+    return context, {0: index}, n_cand
+
+
+def scenario_sharding(r: Runner) -> dict | None:
+    """Sharded fan-out vs the serial reference, both join families;
+    returns the StandOff fan-out speedup at the largest scale."""
+    from repro.core.steps import Strategy, standoff_step
+    from repro.staircase import staircase_join
+
+    file = "bench_sharding.py"
+    scales = (0.25,) if r.smoke else (0.5, 4.0, 16.0)
+    variants = (("serial", "serial"), ("workers4", 4))
+    shard_min_rows = 512
+    summary = None
+    for scale in scales:
+        ops = {"standoff_select_wide": StandoffOp.SELECT_WIDE,
+               "standoff_select_narrow": StandoffOp.SELECT_NARROW}
+        names = [f"sharding.scale{scale}.{group}.{tag}"
+                 for group in (*ops, "staircase_following")
+                 for tag, _w in variants]
+        if not r.any_wanted(*names):
+            continue
+        context, indexes, n_cand = _sharding_standoff_workload(
+            scale, r.smoke)
+        n = len(context) + n_cand
+        for group, op in ops.items():
+            def run(workers, op=op):
+                return standoff_step(
+                    op, context, indexes,
+                    strategy=Strategy.LOOP_LIFTED, kernel="vectorized",
+                    workers=workers, shard_min_rows=shard_min_rows)
+
+            # Divergence guard at every scale — the planner only fans
+            # out above 2 x shard_min_rows rows, so checking just the
+            # smallest scale would compare serial to serial.
+            assert run("serial") == run(4), \
+                f"sharded standoff diverged from serial ({group})"
+            timings = {}
+            for tag, workers in variants:
+                timings[tag] = r.measure(
+                    f"sharding.scale{scale}.{group}.{tag}", file,
+                    VECTORIZED, n,
+                    lambda workers=workers: run(workers),
+                    label=f"sharding.scale{scale}.{group}[{tag}]",
+                    scale=scale, workers=workers,
+                    shard_min_rows=shard_min_rows)
+            if group == "standoff_select_wide" \
+                    and math.isfinite(timings["serial"]) \
+                    and math.isfinite(timings["workers4"]) \
+                    and timings["workers4"] > 0:
+                summary = {
+                    "scale": scale, "n": int(n),
+                    "serial_seconds": round(timings["serial"], 6),
+                    "workers4_seconds": round(timings["workers4"], 6),
+                    "speedup": round(timings["serial"]
+                                     / timings["workers4"], 2),
+                }
+        shredded, context_rows, candidates, _ctx, _cand, label = \
+            _staircase_workload(scale)
+        def run_stair(workers):
+            return staircase_join(
+                "following", shredded, context_rows, candidates,
+                kernel="vectorized", workers=workers,
+                shard_min_rows=shard_min_rows)
+
+        assert run_stair("serial") == run_stair(4), \
+            "sharded staircase diverged from serial"
+        for tag, workers in variants:
+            r.measure(
+                f"sharding.scale{scale}.staircase_following.{tag}",
+                file, VECTORIZED,
+                len(context_rows) + len(candidates),
+                lambda workers=workers: run_stair(workers),
+                label=f"sharding.scale{scale}.staircase_following"
+                      f"[{tag}]",
+                scale=scale, size=label, workers=workers,
+                shard_min_rows=shard_min_rows)
+    return summary
+
+
 SCENARIOS = [
     scenario_region_index,
     scenario_table_joins,
@@ -594,7 +695,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="DNF budget seconds per scenario "
                              "(default: 120, smoke: 30)")
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="output JSON path (default: BENCH_PR3.json "
+                        help="output JSON path (default: BENCH_PR4.json "
                              "at the repo root; BENCH_SMOKE.json with "
                              "--smoke)")
     parser.add_argument("--pr", default=None, metavar="LABEL",
@@ -640,7 +741,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         out = Path(args.out) if args.out else \
             _ROOT / ("BENCH_SMOKE.json" if args.smoke
-                     else "BENCH_PR3.json")
+                     else "BENCH_PR4.json")
         pr_label = args.pr if args.pr else (
             out.stem[len("BENCH_"):] if out.stem.startswith("BENCH_")
             else out.stem)
@@ -654,6 +755,7 @@ def main(argv: list[str] | None = None) -> int:
             scenario(runner)
         staircase_summary = scenario_staircase(runner)
         axes_summary = scenario_staircase_axes(runner)
+        sharding_summary = scenario_sharding(runner)
 
         payload = {
             "schema": "repro-bench-trajectory/1",
@@ -668,6 +770,7 @@ def main(argv: list[str] | None = None) -> int:
                 "scenario_count": len(runner.records),
                 "staircase_vectorized_headline": staircase_summary,
                 "staircase_axes_headline": axes_summary,
+                "sharding_headline": sharding_summary,
             },
         }
         out.write_text(json.dumps(payload, indent=2) + "\n",
@@ -682,6 +785,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"staircase axes headline: vectorized descendant "
                   f"{axes_summary['speedup']}x vs ll-dict at scale "
                   f"{axes_summary['scale']} ({axes_summary['size']})")
+        if sharding_summary:
+            print(f"sharding headline: standoff select-wide workers=4 "
+                  f"{sharding_summary['speedup']}x vs serial at scale "
+                  f"{sharding_summary['scale']}")
 
     gate_problems: list[str] = []
     gate_ran = required and not smoke \

@@ -15,9 +15,9 @@ Interactive::
 
 Backslash commands: ``\load <uri> [path]``, ``\blob <uri> <path>``,
 ``\docs``, ``\strategy udf|basic|ll``, ``\kernel [standoff|staircase]
-ll|vectorized|auto``, ``\timing on|off``, ``\help``, ``\quit``.
-Everything else is evaluated as a query; results print one item per
-line (nodes serialized as XML).
+ll|vectorized|auto``, ``\workers serial|<n>``, ``\timing on|off``,
+``\help``, ``\quit``.  Everything else is evaluated as a query;
+results print one item per line (nodes serialized as XML).
 """
 
 from __future__ import annotations
@@ -29,11 +29,15 @@ from pathlib import Path
 
 from repro.config import (
     DEFAULT_KERNEL,
+    DEFAULT_SHARD_MIN_ROWS,
     DEFAULT_STAIRCASE_KERNEL,
+    DEFAULT_WORKERS,
     FAMILY_STAIRCASE,
     FAMILY_STANDOFF,
     SUPPORTED_FAMILIES,
     SUPPORTED_KERNELS,
+    WORKERS_SERIAL,
+    normalize_workers,
 )
 from repro.errors import ReproError
 from repro.xquery.engine import Database
@@ -48,6 +52,8 @@ HELP = """\
 \\kernel [family] <name>
                      set the join kernel (ll | vectorized | auto) for a
                      family (standoff | staircase; default standoff)
+\\workers <n>         shard joins across <n> worker threads
+                     (serial = single-shard deterministic reference)
 \\timing on|off       print query wall-clock times
 \\help                this text
 \\quit                exit
@@ -62,6 +68,8 @@ class CliSession:
         self.strategy = "basic"
         self.kernel = DEFAULT_KERNEL
         self.staircase_kernel = DEFAULT_STAIRCASE_KERNEL
+        self.workers = DEFAULT_WORKERS
+        self.shard_min_rows = DEFAULT_SHARD_MIN_ROWS
         self.timing = False
         self.out = out if out is not None else sys.stdout
         self.done = False
@@ -118,12 +126,25 @@ class CliSession:
             self.kernel = name
             self.emit(f"kernel = {name}")
 
+    def set_workers(self, value: str) -> None:
+        try:
+            normalize_workers(value)
+        except ValueError:
+            self.emit(f"invalid workers {value!r} "
+                      f"(expected {WORKERS_SERIAL!r} or a positive "
+                      "integer)")
+            return
+        self.workers = value
+        self.emit(f"workers = {value}")
+
     def run_query(self, text: str) -> None:
         start = time.perf_counter()
         try:
             result = self.db.query(text, strategy=self.strategy,
                                    kernel=self.kernel,
-                                   staircase_kernel=self.staircase_kernel)
+                                   staircase_kernel=self.staircase_kernel,
+                                   workers=self.workers,
+                                   shard_min_rows=self.shard_min_rows)
         except ReproError as error:
             self.emit(f"error: {error}")
             return
@@ -163,6 +184,8 @@ class CliSession:
                 self.set_kernel(args[1], family=args[0])
             elif command == "kernel" and args:
                 self.set_kernel(args[0])
+            elif command == "workers" and args:
+                self.set_workers(args[0])
             elif command == "timing" and args:
                 self.timing = args[0] == "on"
                 self.emit(f"timing = {'on' if self.timing else 'off'}")
@@ -197,12 +220,34 @@ def main(argv: list[str] | None = None) -> int:
                         help="Staircase axis kernel for the tree axes "
                              "under strategy=ll (same choices; default "
                              "auto)")
+    parser.add_argument("--workers", default=DEFAULT_WORKERS,
+                        metavar="N",
+                        help="shard batched joins across N worker "
+                             "threads ('serial' = deterministic "
+                             "single-shard reference; default from "
+                             "REPRO_WORKERS)")
+    parser.add_argument("--shard-min-rows", type=int,
+                        default=DEFAULT_SHARD_MIN_ROWS, metavar="ROWS",
+                        help="minimum rows per shard before a join "
+                             f"fans out (default "
+                             f"{DEFAULT_SHARD_MIN_ROWS})")
     args = parser.parse_args(argv)
+
+    try:
+        normalize_workers(args.workers)
+    except ValueError as error:
+        parser.error(str(error))
+    if args.shard_min_rows < 1:
+        parser.error("--shard-min-rows must be >= 1 "
+                     f"(got {args.shard_min_rows}); the planner never "
+                     "fans out below one row per shard")
 
     session = CliSession()
     session.strategy = args.strategy
     session.kernel = args.kernel
     session.staircase_kernel = args.staircase_kernel
+    session.workers = args.workers
+    session.shard_min_rows = args.shard_min_rows
     try:
         for path in args.load:
             session.load_document(Path(path).name, path)

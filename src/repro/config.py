@@ -22,9 +22,10 @@ regions from a DOM element under either representation.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
-from repro.errors import RegionError, XQueryStaticError
+from repro.errors import RegionError, UnknownKernelError, XQueryStaticError
 
 #: Option names understood in the ``declare option`` preamble.
 OPTION_TYPE = "standoff-type"
@@ -102,6 +103,55 @@ AUTO_KERNEL_MIN_ROWS = 128
 AUTO_KERNEL_MAX_PAIRS = 32_000_000
 
 
+# ----------------------------------------------------------------------
+# Sharded fan-out execution (workers / shard sizing)
+# ----------------------------------------------------------------------
+
+#: The deterministic reference execution mode: no worker pool, a single
+#: shard per kernel call — byte-identical to the unsharded pipeline.
+WORKERS_SERIAL = "serial"
+
+#: Default worker setting.  ``REPRO_WORKERS`` overrides it process-wide
+#: (CI runs the tier-1 suite under ``REPRO_WORKERS=4`` so every
+#: engine-level test exercises the sharded dispatch path).
+DEFAULT_WORKERS = os.environ.get("REPRO_WORKERS", WORKERS_SERIAL)
+
+#: Minimum rows of the partitioned dimension (candidate pool rows for
+#: staircase shards, context rows for StandOff iteration shards) a
+#: shard must own before the planner fans out: per-shard dispatch costs
+#: roughly a thread hop plus one extra round of fixed NumPy call
+#: overhead (~100-200 us), so workloads below a few thousand rows are
+#: faster executed as the single serial call.  ``REPRO_SHARD_MIN_ROWS``
+#: overrides it process-wide — CI pairs ``REPRO_WORKERS=4`` with
+#: ``REPRO_SHARD_MIN_ROWS=1`` so the tier-1 rerun genuinely fans out
+#: on its small test documents instead of planning single shards.
+DEFAULT_SHARD_MIN_ROWS = int(os.environ.get("REPRO_SHARD_MIN_ROWS",
+                                            "8192"))
+
+
+def normalize_workers(workers) -> int:
+    """Normalize a ``workers`` setting to a worker count (``>= 1``).
+
+    Accepts :data:`WORKERS_SERIAL` (or ``None``) for the deterministic
+    serial reference, or a positive integer / integer string.
+
+    :raises ValueError: for anything else.
+    """
+    if workers is None or workers == WORKERS_SERIAL:
+        return 1
+    try:
+        count = int(workers)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid workers setting {workers!r}; expected "
+            f"{WORKERS_SERIAL!r} or a positive integer") from None
+    if count < 1:
+        raise ValueError(
+            f"invalid workers setting {workers!r}; expected "
+            f"{WORKERS_SERIAL!r} or a positive integer")
+    return count
+
+
 @dataclass(frozen=True)
 class KernelSpec:
     """One registered join kernel.
@@ -143,7 +193,7 @@ class KernelRegistry:
     def names(self, family: str) -> tuple[str, ...]:
         found = tuple(n for f, n in self._specs if f == family)
         if not found:
-            raise ValueError(
+            raise UnknownKernelError(
                 f"unknown join family {family!r}; expected one of "
                 f"{list(self.families())}")
         return found
@@ -155,10 +205,12 @@ class KernelRegistry:
     def validate(self, family: str, name: str) -> str:
         """Check *name* against the family's registered kernels.
 
-        :raises ValueError: for unknown families or kernel names.
+        :raises UnknownKernelError: for unknown families or kernel
+            names; the message lists the family's valid kernels (or the
+            registered families when the family itself is unknown).
         """
         if (family, name) not in self._specs:
-            raise ValueError(
+            raise UnknownKernelError(
                 f"unknown join kernel {name!r} for the {family} family; "
                 f"expected one of {list(self.names(family))}")
         return name

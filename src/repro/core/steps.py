@@ -24,6 +24,8 @@ Three evaluation strategies reproduce the paper's three implementations:
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from collections import Counter
 from enum import Enum
 from typing import Iterable, Mapping, Sequence
 
@@ -31,10 +33,14 @@ import numpy as np
 
 from repro.config import (
     DEFAULT_KERNEL,
+    DEFAULT_SHARD_MIN_ROWS,
+    DEFAULT_WORKERS,
     FAMILY_STANDOFF,
     KERNEL_LL,
     KERNELS,
+    normalize_workers,
 )
+from repro.exec.sharding import partition_by_iteration, run_shards
 from repro.core.kernels_vec import kernel_join
 from repro.core.mergejoin_basic import basic_join
 from repro.core.mergejoin_ll import IterContext, JoinResult
@@ -72,6 +78,8 @@ def standoff_step(op: StandoffOp,
                   active_structure: str = "list",
                   kernel: str = DEFAULT_KERNEL,
                   fragment_rank: Mapping[int, int] | None = None,
+                  workers=DEFAULT_WORKERS,
+                  shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
                   ) -> ColumnarStepResult:
     """Execute one StandOff step.
 
@@ -102,6 +110,18 @@ def standoff_step(op: StandoffOp,
         order (e.g. transient fragments keyed by object identity) get
         final order straight from the columnar concatenation.  Default:
         ascending fragment id.
+    :param workers: fan-out setting (``"serial"`` or a worker count).
+        Fragments are natural shards — each owns its own candidate
+        table — and a fragment whose context is large is further split
+        into contiguous *iteration ranges* (every StandOff operator,
+        anti-joins included, is decided per iteration, so a shard
+        owning all rows of its iterations reproduces the unsharded
+        per-iteration slices exactly).  One join call per shard runs
+        on the shared thread pool; ``"serial"`` plans one shard per
+        fragment and runs inline — byte-identical to the pre-sharding
+        path.
+    :param shard_min_rows: minimum context rows per iteration-range
+        shard (see :func:`repro.exec.sharding.partition_by_iteration`).
     :returns: a :class:`~repro.relational.columnar.ColumnarStepResult` —
         ``iter -> [(fragment, node_id), ...]`` under its lazy dict view,
         unique, in document order (fragment rank, then node id ascending
@@ -118,7 +138,8 @@ def standoff_step(op: StandoffOp,
     else:
         ordered = sorted(per_fragment,
                          key=lambda frag: fragment_rank[frag])
-    parts = []
+    job_fragments: list[int] = []
+    jobs = []
     for fragment in ordered:
         index = indexes.get(fragment)
         if index is None:
@@ -130,14 +151,45 @@ def standoff_step(op: StandoffOp,
             if wanted is None:
                 continue
             candidates = index.candidates(wanted)
-        parts.append((fragment,
-                      _run_fragment(op, per_fragment[fragment], index,
-                                    candidates, strategy, active_structure,
-                                    kernel)))
+        for chunk in _iteration_chunks(per_fragment[fragment], workers,
+                                       shard_min_rows):
+            job_fragments.append(fragment)
+            jobs.append(lambda chunk=chunk, index=index,
+                        candidates=candidates: _run_fragment(
+                            op, chunk, index, candidates, strategy,
+                            active_structure, kernel))
+    parts = list(zip(job_fragments, run_shards(jobs, workers)))
     # Per-fragment results are id-ascending per iteration and fragments
     # are concatenated in rank order, so the stable columnar merge
     # yields document order directly; no per-pair re-sort needed.
+    # Iteration-range chunks of one fragment never share an iteration,
+    # so feeding them as separate parts (in range order) is exact.
     return ColumnarStepResult.from_fragments(parts)
+
+
+def _iteration_chunks(pairs: list[tuple[int, int]], workers,
+                      shard_min_rows: int) -> list[list[tuple[int, int]]]:
+    """Split one fragment's ``(iteration, node_id)`` rows into
+    contiguous iteration-range chunks (see
+    :func:`repro.exec.sharding.partition_by_iteration`); a single-chunk
+    plan returns *pairs* unchanged — the byte-identical serial path.
+    Row order within a chunk is preserved."""
+    # Serial mode and small fragments skip the per-iteration counting
+    # pass entirely — the planner could only return a single shard.
+    if normalize_workers(workers) <= 1 or shard_min_rows < 1 \
+            or len(pairs) < 2 * shard_min_rows:
+        return [pairs]
+    counts = Counter(iteration for iteration, _node in pairs)
+    uniq_iters = sorted(counts)
+    plan = partition_by_iteration([counts[it] for it in uniq_iters],
+                                  workers, shard_min_rows=shard_min_rows)
+    if not plan.is_sharded:
+        return [pairs]
+    firsts = [uniq_iters[shard.lo] for shard in plan.shards]
+    chunks: list[list[tuple[int, int]]] = [[] for _ in plan.shards]
+    for pair in pairs:
+        chunks[bisect_right(firsts, pair[0]) - 1].append(pair)
+    return chunks
 
 
 def _run_fragment(op: StandoffOp, pairs: list[tuple[int, int]],

@@ -39,6 +39,16 @@ class RelationalError(ReproError):
     """Misuse of the column-store substrate (schema mismatch, bad arity)."""
 
 
+class UnknownKernelError(ReproError, ValueError):
+    """An unregistered join family or kernel name was requested.
+
+    Raised by :class:`repro.config.KernelRegistry` lookups; the message
+    lists the valid choices (families, or kernels of the named family).
+    Subclasses :class:`ValueError` so callers that predate the dedicated
+    type keep working.
+    """
+
+
 class XQueryError(ReproError):
     """Base class for XQuery static and dynamic errors.
 

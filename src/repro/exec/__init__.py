@@ -1,0 +1,19 @@
+"""Sharded fan-out execution over the unified kernel registry."""
+
+from repro.exec.sharding import (
+    Shard,
+    ShardPlan,
+    concat_shards,
+    partition_by_iteration,
+    plan_shards,
+    run_shards,
+)
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "concat_shards",
+    "partition_by_iteration",
+    "plan_shards",
+    "run_shards",
+]

@@ -51,7 +51,9 @@ from typing import Iterable
 import numpy as np
 
 from repro.config import (
+    DEFAULT_SHARD_MIN_ROWS,
     DEFAULT_STAIRCASE_KERNEL,
+    DEFAULT_WORKERS,
     FAMILY_STAIRCASE,
     KERNEL_VECTORIZED,
     KERNELS,
@@ -68,6 +70,13 @@ _INT64_BUDGET = 2 ** 62
 #: A loop-lifted staircase context: ``(iter, pre)`` pairs, any order.
 ContextPairs = Iterable[tuple[int, int]]
 
+#: Axes whose cost lives on the context side — the ancestor kernel's
+#: parent climb is ``O(context rows x tree depth)`` and independent of
+#: the pool — so pool-range sharding would repeat that work in every
+#: shard and merely filter by a different pool slice.  They always run
+#: as the single serial call.
+_CONTEXT_BOUND_AXES = frozenset({"ancestor"})
+
 
 # ----------------------------------------------------------------------
 # segmented primitives
@@ -75,8 +84,18 @@ ContextPairs = Iterable[tuple[int, int]]
 
 def _context_arrays(context: ContextPairs
                     ) -> tuple[np.ndarray, np.ndarray]:
-    """Unique ``(iter, pre)`` pairs as columns sorted by (iter, pre)."""
-    rows = np.asarray(list(context), dtype=np.int64)
+    """Unique ``(iter, pre)`` pairs as columns sorted by (iter, pre).
+
+    A ``(its, pres)`` tuple of arrays is taken as already canonical —
+    the sharded fan-out canonicalizes once and shares the result
+    across shard jobs instead of re-sorting the context per shard.
+    """
+    if isinstance(context, tuple):
+        return context
+    if isinstance(context, np.ndarray):
+        rows = context
+    else:
+        rows = np.asarray(list(context), dtype=np.int64)
     if rows.size == 0:
         return np.empty(0, np.int64), np.empty(0, np.int64)
     its, pres = rows[:, 0], rows[:, 1]
@@ -373,7 +392,9 @@ def staircase_join(axis: str, doc: ShreddedDocument,
                    context: ContextPairs,
                    candidates: np.ndarray | None = None, *,
                    or_self: bool = False,
-                   kernel: str = DEFAULT_STAIRCASE_KERNEL
+                   kernel: str = DEFAULT_STAIRCASE_KERNEL,
+                   workers=DEFAULT_WORKERS,
+                   shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS
                    ) -> ColumnarResult | dict[int, list[int]]:
     """Run a loop-lifted staircase axis step under the selected kernel.
 
@@ -385,7 +406,18 @@ def staircase_join(axis: str, doc: ShreddedDocument,
     (:func:`repro.staircase.loop_lifted.ll_axis_join`), ``"vectorized"``
     the batched columnar kernels, ``"auto"`` picks per call by input
     size.
+
+    ``workers`` fans the batched kernel out over contiguous pre-order
+    ranges of the candidate pool (one kernel call per shard on the
+    shared thread pool, merged by the k-way columnar concat — see
+    :mod:`repro.exec.sharding`); pool slices are views, so sharding
+    copies no candidate data.  ``"serial"`` (the default) and
+    workloads under *shard_min_rows* rows per shard keep the single
+    unsharded call — byte-identical to the pre-sharding pipeline.  The
+    ``ll`` reference path never shards (it exists to be the
+    deterministic oracle).
     """
+    from repro.exec.sharding import concat_shards, plan_shards, run_shards
     from repro.staircase.loop_lifted import ll_axis_join
 
     context = list(context)
@@ -393,7 +425,22 @@ def staircase_join(axis: str, doc: ShreddedDocument,
     effective = KERNELS.select(FAMILY_STAIRCASE, kernel,
                                context_rows=len(context),
                                candidate_rows=n_cand)
-    if effective == KERNEL_VECTORIZED:
+    if effective != KERNEL_VECTORIZED:
+        return ll_axis_join(doc, axis, context, candidates,
+                            or_self=or_self)
+    plan = plan_shards(n_cand, workers, shard_min_rows=shard_min_rows)
+    if not plan.is_sharded or axis in _CONTEXT_BOUND_AXES:
         return vec_staircase_join(axis, doc, context, candidates,
                                   or_self=or_self)
-    return ll_axis_join(doc, axis, context, candidates, or_self=or_self)
+    pool = doc.pre if candidates is None \
+        else np.asarray(candidates, dtype=np.int64)
+    # Canonicalize the context (sort + dedup) once; shard jobs share
+    # the (its, pres) columns instead of re-sorting per shard.
+    canon = _context_arrays(np.asarray(context, dtype=np.int64))
+
+    def shard_job(lo: int, hi: int):
+        return lambda: vec_staircase_join(axis, doc, canon,
+                                          pool[lo:hi], or_self=or_self)
+
+    jobs = [shard_job(lo, hi) for lo, hi in plan.slices()]
+    return concat_shards(run_shards(jobs, plan.workers))

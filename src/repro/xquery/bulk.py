@@ -577,7 +577,9 @@ def _staircase_axis_step(step: ast.AxisStep, env: BulkEnv,
         return None
     result = staircase_join(
         axis, shredded, rows, candidates, or_self=or_self,
-        kernel=env.ctx.staircase_kernel)
+        kernel=env.ctx.staircase_kernel,
+        workers=env.ctx.workers,
+        shard_min_rows=env.ctx.shard_min_rows)
     doc = stored.document
     if isinstance(result, ColumnarResult) and not attr_self:
         def decode(iteration: int, _result=result, _doc=doc) -> list:

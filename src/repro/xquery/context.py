@@ -5,8 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.config import DEFAULT_KERNEL, DEFAULT_STAIRCASE_KERNEL, \
-    STANDOFF_OPTION_NAMES, StandoffConfig
+from repro.config import DEFAULT_KERNEL, DEFAULT_SHARD_MIN_ROWS, \
+    DEFAULT_STAIRCASE_KERNEL, DEFAULT_WORKERS, STANDOFF_OPTION_NAMES, \
+    StandoffConfig, normalize_workers
 from repro.core.region_index import RegionIndex
 from repro.core.steps import Strategy
 from repro.errors import XQueryDynamicError, XQueryStaticError
@@ -85,7 +86,9 @@ class DynamicContext:
                  active_structure: str = "list",
                  blobs=None,
                  kernel: str = DEFAULT_KERNEL,
-                 staircase_kernel: str = DEFAULT_STAIRCASE_KERNEL):
+                 staircase_kernel: str = DEFAULT_STAIRCASE_KERNEL,
+                 workers=DEFAULT_WORKERS,
+                 shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS):
         from repro.xmldb.blob import BlobStore
 
         self.store = store
@@ -98,6 +101,14 @@ class DynamicContext:
         #: Staircase axis kernel (same choices, resolved per step by
         #: the unified registry)
         self.staircase_kernel = staircase_kernel
+        #: sharded fan-out: worker count ("serial" normalizes to 1 —
+        #: the deterministic single-shard reference) and the minimum
+        #: rows per shard before a join call fans out
+        self.workers = normalize_workers(workers)
+        if shard_min_rows < 1:
+            raise ValueError(
+                f"shard_min_rows must be >= 1, got {shard_min_rows}")
+        self.shard_min_rows = shard_min_rows
         #: name-test pushdown policy: "always" | "never" | "auto"
         self.pushdown = "always"
         self.variables: dict[str, Sequence] = {}
@@ -121,6 +132,8 @@ class DynamicContext:
         ctx.active_structure = self.active_structure
         ctx.kernel = self.kernel
         ctx.staircase_kernel = self.staircase_kernel
+        ctx.workers = self.workers
+        ctx.shard_min_rows = self.shard_min_rows
         ctx.pushdown = self.pushdown
         ctx.variables = dict(self.variables)
         ctx.focus = self.focus

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 from repro.config import (
     DEFAULT_KERNEL,
+    DEFAULT_SHARD_MIN_ROWS,
     DEFAULT_STAIRCASE_KERNEL,
+    DEFAULT_WORKERS,
     FAMILY_STAIRCASE,
     FAMILY_STANDOFF,
     KERNELS,
@@ -124,6 +126,8 @@ class Database:
               pushdown: str = "always",
               kernel: str = DEFAULT_KERNEL,
               staircase_kernel: str = DEFAULT_STAIRCASE_KERNEL,
+              workers=DEFAULT_WORKERS,
+              shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
               context_uri: str | None = None,
               variables: dict | None = None) -> QueryResult:
         """Parse and evaluate a query.
@@ -146,6 +150,15 @@ class Database:
             axes under the loop-lifted strategy — same choices,
             resolved per step through the unified kernel registry
             (default ``auto``).
+        :param workers: sharded fan-out — ``"serial"`` (deterministic
+            single-shard reference, the default) or a worker count:
+            batched kernel calls are partitioned (StandOff candidate
+            tables by fragment and iteration range, staircase pools by
+            contiguous pre-order ranges) and dispatched one shard per
+            thread, merged columnar without re-sorting.  Default
+            overridable process-wide via ``REPRO_WORKERS``.
+        :param shard_min_rows: minimum rows per shard before a join
+            call fans out (see :mod:`repro.exec.sharding`).
         :param context_uri: optional document whose root becomes the
             initial context item (so relative paths like ``//a`` work
             without ``doc(...)``).
@@ -168,7 +181,9 @@ class Database:
         KERNELS.validate(FAMILY_STAIRCASE, staircase_kernel)
         ctx = DynamicContext(self.store, static, strat, active_structure,
                              blobs=self.blobs, kernel=kernel,
-                             staircase_kernel=staircase_kernel)
+                             staircase_kernel=staircase_kernel,
+                             workers=workers,
+                             shard_min_rows=shard_min_rows)
         ctx.pushdown = pushdown
         if variables:
             for name, value in variables.items():

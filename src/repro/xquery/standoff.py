@@ -17,7 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import DEFAULT_KERNEL, KERNEL_LL
+from repro.config import (
+    DEFAULT_KERNEL,
+    DEFAULT_SHARD_MIN_ROWS,
+    DEFAULT_WORKERS,
+    KERNEL_LL,
+)
 from repro.core.naive import StandoffOp
 from repro.core.steps import Strategy, standoff_step
 from repro.errors import XQueryTypeError
@@ -148,7 +153,10 @@ def _run(ctx: DynamicContext, op: StandoffOp,
                         strategy=strategy,
                         active_structure=ctx.active_structure,
                         kernel=kernel,
-                        fragment_rank=fragment_rank)
+                        fragment_rank=fragment_rank,
+                        workers=getattr(ctx, "workers", DEFAULT_WORKERS),
+                        shard_min_rows=getattr(ctx, "shard_min_rows",
+                                               DEFAULT_SHARD_MIN_ROWS))
     infos = {key: info
              for key, (info, _pres) in context_by_fragment.items()}
 

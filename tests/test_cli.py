@@ -100,6 +100,29 @@ class TestSession:
         session.handle("\\load x.xml /nonexistent/path.xml")
         assert "error:" in out.getvalue()
 
+    def test_workers_switch(self, video_file):
+        session, out = make_session()
+        session.load_document("video.xml", str(video_file))
+        session.handle("\\workers 4")
+        assert "workers = 4" in out.getvalue()
+        assert session.workers == "4"
+        session.handle('doc("video.xml")//music/select-wide::shot')
+        assert 'id="Intro"' in out.getvalue()
+        session.handle("\\workers serial")
+        assert "workers = serial" in out.getvalue()
+
+    def test_bad_workers_reported(self):
+        session, out = make_session()
+        session.handle("\\workers plenty")
+        assert "invalid workers" in out.getvalue()
+        session.handle("\\workers 0")
+        assert "invalid workers '0'" in out.getvalue()
+
+    def test_workers_in_help(self):
+        session, out = make_session()
+        session.handle("\\help")
+        assert "\\workers" in out.getvalue()
+
 
 class TestMain:
     def test_one_shot_query(self, video_file, capsys):
@@ -119,3 +142,23 @@ class TestMain:
         code = main(["--load", "/does/not/exist.xml", "--query", "1"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+    def test_workers_flag(self, video_file, capsys):
+        code = main(["--load", str(video_file), "--workers", "4",
+                     "--shard-min-rows", "1", "--strategy", "ll",
+                     "--query",
+                     'doc("video.xml")//music/select-wide::shot'])
+        assert code == 0
+        assert "Intro" in capsys.readouterr().out
+
+    def test_bad_workers_flag(self, video_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--load", str(video_file), "--workers", "lots",
+                  "--query", "1"])
+        assert "workers" in capsys.readouterr().err
+
+    def test_bad_shard_min_rows_flag(self, video_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--load", str(video_file), "--shard-min-rows", "0",
+                  "--query", "1"])
+        assert "--shard-min-rows" in capsys.readouterr().err

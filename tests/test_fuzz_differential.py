@@ -1,0 +1,179 @@
+"""Randomized differential fuzz oracle for the sharded engine.
+
+A seeded generator produces random XML trees and random multi-step
+path/predicate queries; the loop-lifted engine must agree *exactly*
+(serialized output) with the DOM-walk oracle — the ``basic`` strategy's
+iterative evaluator — for every kernel choice crossed with
+``workers`` ∈ {serial, 4} (``shard_min_rows=1`` forces the fan-out
+path even on these small documents).
+
+Seeds are fixed: every failure is reproducible from the printed
+(seed, query) pair.  The whole module is budgeted at roughly two
+seconds so it stays in the tier-1 suite.
+"""
+
+import random
+
+import pytest
+
+from repro.config import (
+    KERNEL_AUTO,
+    KERNEL_LL,
+    KERNEL_VECTORIZED,
+    WORKERS_SERIAL,
+)
+from repro.xquery import Database
+
+TAGS = ("a", "b", "c", "d")
+
+AXES = (
+    "child", "descendant", "descendant-or-self", "self", "parent",
+    "ancestor", "ancestor-or-self", "following", "preceding",
+    "following-sibling", "preceding-sibling",
+)
+
+KERNELS_UNDER_TEST = (KERNEL_LL, KERNEL_VECTORIZED, KERNEL_AUTO)
+WORKERS_UNDER_TEST = (WORKERS_SERIAL, 4)
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+
+def random_xml(rng: random.Random, max_nodes: int = 45) -> str:
+    """A random element tree with attributes, text and comments."""
+    budget = [rng.randrange(8, max_nodes)]
+
+    def element(depth: int) -> str:
+        budget[0] -= 1
+        tag = rng.choice(TAGS)
+        attrs = ""
+        if rng.random() < 0.3:
+            attrs = f' i="{rng.randrange(9)}"'
+        if rng.random() < 0.15:
+            attrs += f' j="{rng.randrange(9)}"'
+        children: list[str] = []
+        while budget[0] > 0 and depth < 5 \
+                and rng.random() < (0.75 if depth < 2 else 0.45):
+            roll = rng.random()
+            if roll < 0.6:
+                children.append(element(depth + 1))
+            elif roll < 0.85:
+                children.append(f"t{rng.randrange(99)}")
+                budget[0] -= 1
+            else:
+                children.append("<!--c-->")
+                budget[0] -= 1
+        return f"<{tag}{attrs}>{''.join(children)}</{tag}>"
+
+    return f"<r>{''.join(element(0) for _ in range(rng.randrange(1, 4)))}</r>"
+
+
+def random_step(rng: random.Random) -> str:
+    axis = rng.choice(AXES)
+    test = rng.choice((*TAGS, "*", "node()", "text()"))
+    if test == "text()" and rng.random() < 0.5:
+        test = "node()"
+    step = f"{axis}::{test}"
+    if rng.random() < 0.3 and not test.endswith(")"):
+        predicate = rng.choice((
+            f"[{rng.choice(TAGS)}]",
+            "[@i]",
+            f"[{rng.randrange(1, 3)}]",
+            f'[@i = "{rng.randrange(9)}"]',
+        ))
+        step += predicate
+    return step
+
+
+def random_query(rng: random.Random) -> str:
+    steps = "/".join(random_step(rng)
+                     for _ in range(rng.randrange(1, 4)))
+    base = rng.choice((f'doc("f.xml")//{rng.choice(TAGS)}',
+                       'doc("f.xml")/r'))
+    path = f"{base}/{steps}"
+    if rng.random() < 0.25:
+        return f"for $x in {base} return count($x/{steps})"
+    return path
+
+
+# ----------------------------------------------------------------------
+# the oracle check
+# ----------------------------------------------------------------------
+
+def assert_engine_matches_oracle(seed: int, n_queries: int) -> None:
+    rng = random.Random(seed)
+    db = Database()
+    db.add_document("f.xml", random_xml(rng))
+    for _ in range(n_queries):
+        query = random_query(rng)
+        oracle = db.query(query, strategy="basic").serialize()
+        for kernel in KERNELS_UNDER_TEST:
+            for workers in WORKERS_UNDER_TEST:
+                got = db.query(query, strategy="ll", kernel=kernel,
+                               staircase_kernel=kernel, workers=workers,
+                               shard_min_rows=1).serialize()
+                assert got == oracle, (seed, query, kernel, workers)
+
+
+@pytest.mark.parametrize("seed", range(5000, 5008))
+def test_fuzz_engine_vs_dom_walk(seed):
+    assert_engine_matches_oracle(seed, n_queries=3)
+
+
+def test_fuzz_standoff_joins(seed=7100):
+    """Random region annotations: the StandOff axes under every kernel
+    and worker setting against the basic-strategy result."""
+    rng = random.Random(seed)
+    for _trial in range(3):
+        n = rng.randrange(8, 30)
+        parts = []
+        for i in range(n):
+            start = rng.randrange(200)
+            end = start + rng.randrange(1, 60)
+            inner = ""
+            if rng.random() < 0.4:
+                s2 = start + rng.randrange(1, 10)
+                inner = (f'<shot start="{s2}" '
+                         f'end="{s2 + rng.randrange(1, 10)}"/>')
+            parts.append(f'<music start="{start}" end="{end}">'
+                         f'{inner}</music>')
+        db = Database()
+        db.add_document("v.xml", f"<doc>{''.join(parts)}</doc>")
+        for op in ("select-wide", "select-narrow", "reject-wide",
+                   "reject-narrow"):
+            query = (f'for $m in doc("v.xml")//music '
+                     f'return count($m/{op}::shot)')
+            oracle = db.query(query, strategy="basic").serialize()
+            for kernel in KERNELS_UNDER_TEST:
+                for workers in WORKERS_UNDER_TEST:
+                    got = db.query(query, strategy="ll", kernel=kernel,
+                                   workers=workers,
+                                   shard_min_rows=1).serialize()
+                    assert got == oracle, (seed, op, kernel, workers)
+
+
+def test_serial_byte_identical_to_unsharded_columnar():
+    """workers='serial' must leave the columnar pipeline untouched:
+    the exact arrays, not just equal decodes."""
+    import numpy as np
+
+    from repro.staircase import staircase_join, vec_staircase_join
+    from repro.xmldb import parse_document, shred
+
+    rng = random.Random(4242)
+    doc = parse_document(random_xml(rng))
+    sh = shred(doc)
+    context = [(it, pre) for it, pre in
+               enumerate(range(0, len(sh), 3))]
+    for axis in ("descendant", "ancestor", "child", "following",
+                 "preceding"):
+        direct = vec_staircase_join(axis, sh, context)
+        via_serial = staircase_join(axis, sh, context,
+                                    kernel="vectorized",
+                                    workers=WORKERS_SERIAL)
+        for mine, theirs in zip(
+                (direct.iters, direct.offsets, direct.values),
+                (via_serial.iters, via_serial.offsets,
+                 via_serial.values)):
+            assert np.array_equal(mine, theirs), axis

@@ -1,0 +1,494 @@
+"""The sharded fan-out execution layer (`repro.exec.sharding`).
+
+Covers the shard planner (pool ranges and iteration ranges), the
+thread-pool dispatcher, the k-way columnar shard merge (property-tested
+against a dict-level oracle on adversarial shard boundaries), the
+kernel-registry error contract, and the sharded execution paths of both
+join families — including the two known fallback corners
+(``following-sibling``/``preceding-sibling`` DOM walks and constructed
+fragments) under ``kernel="auto"`` + sharding.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.config import (
+    FAMILY_STAIRCASE,
+    FAMILY_STANDOFF,
+    KERNEL_AUTO,
+    KERNELS,
+    WORKERS_SERIAL,
+    normalize_workers,
+)
+from repro.core.naive import StandoffOp
+from repro.core.steps import Strategy, standoff_step
+from repro.exec.sharding import (
+    ITER_RANGE,
+    Shard,
+    ShardPlan,
+    concat_shards,
+    partition_by_iteration,
+    plan_shards,
+    run_shards,
+)
+from repro.relational.columnar import ColumnarResult
+from repro.staircase import staircase_join
+from repro.xmldb import parse_document, shred
+from repro.xquery import Database
+
+
+# ----------------------------------------------------------------------
+# the planner
+# ----------------------------------------------------------------------
+
+class TestPlanShards:
+    def test_serial_is_single_shard(self):
+        plan = plan_shards(1_000_000, WORKERS_SERIAL, shard_min_rows=1)
+        assert not plan.is_sharded
+        assert plan.shards == (Shard(0, 0, 1_000_000),)
+
+    def test_small_workload_stays_serial(self):
+        plan = plan_shards(100, 4, shard_min_rows=64)
+        assert not plan.is_sharded
+
+    def test_bounds_cover_gap_free(self):
+        plan = plan_shards(100_001, 4, shard_min_rows=1000)
+        assert plan.is_sharded and plan.n_shards == 4
+        assert plan.shards[0].lo == 0
+        assert plan.shards[-1].hi == 100_001
+        for a, b in zip(plan.shards[:-1], plan.shards[1:]):
+            assert a.hi == b.lo
+
+    def test_min_rows_caps_shard_count(self):
+        plan = plan_shards(10_000, 8, shard_min_rows=3000)
+        assert plan.n_shards == 3
+        assert all(s.n_rows >= 3000 for s in plan.shards)
+
+    def test_workers_cap(self):
+        plan = plan_shards(1_000_000, 2, shard_min_rows=1)
+        assert plan.n_shards == 2
+
+    def test_zero_rows(self):
+        plan = plan_shards(0, 4, shard_min_rows=1)
+        assert not plan.is_sharded and plan.shards[0].n_rows == 0
+
+    def test_normalize_workers(self):
+        assert normalize_workers(WORKERS_SERIAL) == 1
+        assert normalize_workers(None) == 1
+        assert normalize_workers(4) == 4
+        assert normalize_workers("4") == 4
+        with pytest.raises(ValueError, match="workers"):
+            normalize_workers("many")
+        with pytest.raises(ValueError, match="workers"):
+            normalize_workers(0)
+
+
+class TestPartitionByIteration:
+    def test_never_splits_an_iteration(self):
+        plan = partition_by_iteration([10] * 8, 4, shard_min_rows=5)
+        assert plan.kind == ITER_RANGE
+        assert plan.is_sharded
+        assert plan.shards[0].lo == 0 and plan.shards[-1].hi == 8
+        for a, b in zip(plan.shards[:-1], plan.shards[1:]):
+            assert a.hi == b.lo
+
+    def test_single_iteration_is_one_shard(self):
+        plan = partition_by_iteration([100_000], 4, shard_min_rows=1)
+        assert not plan.is_sharded
+
+    def test_skewed_counts_keep_shards_nonempty(self):
+        plan = partition_by_iteration([1000, 1, 1], 4, shard_min_rows=1)
+        assert all(s.n_rows >= 1 for s in plan.shards)
+        assert plan.shards[-1].hi == 3
+
+    def test_min_rows_enforced_on_every_shard(self):
+        # A dominant iteration must not strand a tiny trailing shard.
+        plan = partition_by_iteration([1023, 1, 1], 4,
+                                      shard_min_rows=512)
+        assert not plan.is_sharded
+        counts = [512] * 3 + [2]
+        plan = partition_by_iteration(counts, 4, shard_min_rows=512)
+        cum = [0]
+        for c in counts:
+            cum.append(cum[-1] + c)
+        for shard in plan.shards:
+            assert cum[shard.hi] - cum[shard.lo] >= 512
+
+    def test_small_total_stays_serial(self):
+        plan = partition_by_iteration([1, 1, 1], 4, shard_min_rows=100)
+        assert not plan.is_sharded
+
+    def test_balances_row_counts(self):
+        plan = partition_by_iteration([5] * 100, 4, shard_min_rows=25)
+        assert plan.n_shards == 4
+        sizes = [s.n_rows for s in plan.shards]
+        assert max(sizes) - min(sizes) <= 1
+
+
+# ----------------------------------------------------------------------
+# the dispatcher
+# ----------------------------------------------------------------------
+
+class TestRunShards:
+    def test_preserves_job_order(self):
+        jobs = [lambda i=i: i * i for i in range(20)]
+        assert run_shards(jobs, 4) == [i * i for i in range(20)]
+
+    def test_serial_runs_inline(self):
+        import threading
+
+        main = threading.get_ident()
+        seen = []
+        jobs = [lambda: seen.append(threading.get_ident())] * 3
+        run_shards(jobs, WORKERS_SERIAL)
+        assert seen == [main] * 3
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("shard failed")
+
+        with pytest.raises(RuntimeError, match="shard failed"):
+            run_shards([lambda: 1, boom, lambda: 2], 4)
+
+    def test_empty_jobs(self):
+        assert run_shards([], 4) == []
+
+
+# ----------------------------------------------------------------------
+# the k-way columnar shard merge
+# ----------------------------------------------------------------------
+
+def assert_csr_invariants(result: ColumnarResult) -> None:
+    iters, offsets, values = result.iters, result.offsets, result.values
+    assert len(offsets) == len(iters) + 1
+    assert offsets[0] == 0 and offsets[-1] == len(values)
+    assert np.all(np.diff(offsets) >= 0)
+    if len(iters) > 1:
+        assert np.all(np.diff(iters) > 0)
+    for a, b in zip(offsets[:-1].tolist(), offsets[1:].tolist()):
+        chunk = values[a:b]
+        if len(chunk) > 1:
+            assert np.all(np.diff(chunk) > 0)
+
+
+def split_by_value_ranges(full: dict[int, list[int]],
+                          bounds: list[int]) -> list[ColumnarResult]:
+    """Slice a result into pool-range shards at the given value bounds
+    (the shape the staircase pool sharding produces)."""
+    shards = []
+    edges = [-(1 << 60), *bounds, 1 << 60]
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        part = {it: [v for v in vals if lo <= v < hi]
+                for it, vals in full.items()}
+        part = {it: vals for it, vals in part.items() if vals}
+        shards.append(ColumnarResult.from_dict(part))
+    return shards
+
+
+class TestConcatShards:
+    def test_empty_input(self):
+        assert concat_shards([]).to_dict() == {}
+
+    def test_all_empty_shards(self):
+        merged = concat_shards([ColumnarResult.empty()] * 3)
+        assert merged.to_dict() == {}
+
+    def test_single_shard_identity(self):
+        one = ColumnarResult.from_dict({3: [1, 2], 9: [5]})
+        assert concat_shards([one, ColumnarResult.empty()]) is one
+
+    def test_duplicate_iters_across_shards(self):
+        a = ColumnarResult.from_dict({0: [1, 2], 2: [3]})
+        b = ColumnarResult.from_dict({0: [10], 1: [7]})
+        merged = concat_shards([a, b])
+        assert merged.to_dict() == {0: [1, 2, 10], 1: [7], 2: [3]}
+        assert_csr_invariants(merged)
+
+    def test_empty_shards_interleaved(self):
+        a = ColumnarResult.from_dict({5: [1]})
+        b = ColumnarResult.from_dict({5: [2], 6: [9]})
+        merged = concat_shards([a, ColumnarResult.empty(), b])
+        assert merged.to_dict() == {5: [1, 2], 6: [9]}
+
+    def test_preserved_empty_iterations(self):
+        # Anti-join shape: an iteration present with an empty slice
+        # survives the merge (its key must not be dropped).
+        a = ColumnarResult(np.array([1, 2]), np.array([0, 0, 1]),
+                           np.array([4]))
+        b = ColumnarResult.from_dict({2: [8]})
+        merged = concat_shards([a, b])
+        assert merged.to_dict() == {1: [], 2: [4, 8]}
+
+    @given(full=st.dictionaries(st.integers(0, 30),
+                                st.lists(st.integers(0, 1000),
+                                         min_size=0, max_size=15),
+                                max_size=12),
+           bounds=st.lists(st.integers(0, 1000), min_size=0,
+                           max_size=6).map(sorted))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_dict_oracle(self, full, bounds):
+        """Adversarial shard boundaries: empty shards, single-iter
+        shards, duplicate iters across shards — merge == from_dict."""
+        full = {it: sorted(set(vals)) for it, vals in full.items()
+                if vals}
+        shards = split_by_value_ranges(full, bounds)
+        merged = concat_shards(shards)
+        assert_csr_invariants(merged)
+        expected = ColumnarResult.from_dict(full)
+        decoded = {it: vals for it, vals in merged.to_dict().items()
+                   if vals}
+        assert decoded == expected.to_dict()
+
+    @given(per_shard=st.lists(
+        st.dictionaries(st.integers(0, 6),
+                        st.lists(st.integers(0, 50), min_size=1,
+                                 max_size=5),
+                        max_size=4),
+        min_size=1, max_size=5))
+    @settings(max_examples=80, deadline=None)
+    def test_iter_range_shards(self, per_shard):
+        """Disjoint-iteration shards (the StandOff sharding shape):
+        offset each shard's iterations into its own range."""
+        shards, expected = [], {}
+        for i, data in enumerate(per_shard):
+            shifted = {it + 100 * i: sorted(set(vals))
+                       for it, vals in data.items()}
+            expected.update(shifted)
+            shards.append(ColumnarResult.from_dict(shifted))
+        merged = concat_shards(shards)
+        assert_csr_invariants(merged)
+        assert merged.to_dict() == ColumnarResult.from_dict(
+            expected).to_dict()
+
+
+# ----------------------------------------------------------------------
+# registry error contract
+# ----------------------------------------------------------------------
+
+class TestRegistryErrors:
+    def test_unknown_family_raises_dedicated_type(self):
+        with pytest.raises(errors.UnknownKernelError,
+                           match="unknown join family"):
+            KERNELS.validate("sideways", "ll")
+        with pytest.raises(errors.UnknownKernelError) as info:
+            KERNELS.select("sideways", "ll")
+        assert FAMILY_STANDOFF in str(info.value)
+        assert FAMILY_STAIRCASE in str(info.value)
+
+    def test_unknown_kernel_lists_family_kernels(self):
+        for family in (FAMILY_STANDOFF, FAMILY_STAIRCASE):
+            with pytest.raises(errors.UnknownKernelError) as info:
+                KERNELS.select(family, "warp9")
+            message = str(info.value)
+            assert family in message
+            for name in KERNELS.names(family):
+                assert name in message
+
+    def test_not_a_keyerror(self):
+        try:
+            KERNELS.validate("sideways", "ll")
+        except KeyError:                      # pragma: no cover
+            pytest.fail("registry lookups must not leak KeyError")
+        except errors.UnknownKernelError:
+            pass
+
+    def test_backwards_compatible_with_valueerror(self):
+        # Callers that predate the dedicated type catch ValueError.
+        assert issubclass(errors.UnknownKernelError, ValueError)
+        assert issubclass(errors.UnknownKernelError, errors.ReproError)
+        with pytest.raises(ValueError):
+            KERNELS.spec(FAMILY_STANDOFF, "warp9")
+
+    def test_names_rejects_unknown_family(self):
+        with pytest.raises(errors.UnknownKernelError):
+            KERNELS.names("sideways")
+
+
+# ----------------------------------------------------------------------
+# sharded execution == serial reference (both families)
+# ----------------------------------------------------------------------
+
+STAIRCASE_AXES = ("descendant", "ancestor", "child", "following",
+                  "preceding")
+
+
+def _tree_xml(n: int) -> str:
+    return ("<r>"
+            + "".join(f"<a i='{i}'><b><c/></b><d/></a>" for i in range(n))
+            + "</r>")
+
+
+class TestShardedStaircase:
+    def test_sharded_equals_serial_all_axes(self):
+        doc = parse_document(_tree_xml(40))
+        sh = shred(doc)
+        context = [(it, pre) for it, pre in
+                   enumerate(range(1, len(sh) - 1, 5))]
+        for axis in STAIRCASE_AXES:
+            for candidates in (None, sh.all_element_pres(),
+                               sh.pre[::3]):
+                serial = staircase_join(axis, sh, context, candidates,
+                                        kernel="vectorized",
+                                        workers=WORKERS_SERIAL)
+                sharded = staircase_join(axis, sh, context, candidates,
+                                         kernel="vectorized", workers=4,
+                                         shard_min_rows=1)
+                assert serial == sharded, (axis, candidates is None)
+
+    def test_sharded_or_self(self):
+        doc = parse_document(_tree_xml(25))
+        sh = shred(doc)
+        context = [(it, pre) for it, pre in
+                   enumerate(range(0, len(sh), 4))]
+        for axis in ("descendant", "ancestor"):
+            serial = staircase_join(axis, sh, context,
+                                    sh.all_element_pres(), or_self=True,
+                                    kernel="vectorized",
+                                    workers=WORKERS_SERIAL)
+            sharded = staircase_join(axis, sh, context,
+                                     sh.all_element_pres(), or_self=True,
+                                     kernel="vectorized", workers=4,
+                                     shard_min_rows=1)
+            assert serial == sharded, axis
+
+    def test_ll_kernel_ignores_workers(self):
+        # The reference path is the oracle; it never fans out.
+        doc = parse_document(_tree_xml(10))
+        sh = shred(doc)
+        context = [(0, 0), (1, 1)]
+        serial = staircase_join("descendant", sh, context, kernel="ll")
+        sharded = staircase_join("descendant", sh, context, kernel="ll",
+                                 workers=4, shard_min_rows=1)
+        assert serial == sharded
+
+
+def _standoff_db(n: int = 60) -> Database:
+    xml = "<doc>" + "".join(
+        f"<music start='{i * 10}' end='{i * 10 + 25}'/>"
+        f"<shot start='{i * 10 + 2}' end='{i * 10 + 8}'/>"
+        for i in range(n)) + "</doc>"
+    db = Database()
+    db.add_document("v.xml", xml)
+    return db
+
+
+class TestShardedStandoff:
+    def test_step_level_sharded_equals_serial(self):
+        db = _standoff_db()
+        stored = db.store.get("v.xml")
+        index = stored.region_index()
+        ids = index.annotated_ids().tolist()
+        context = [(it % 7, 0, nid) for it, nid in enumerate(ids)]
+        indexes = {0: index}
+        for op in StandoffOp:
+            serial = standoff_step(op, context, indexes,
+                                   strategy=Strategy.LOOP_LIFTED,
+                                   kernel="vectorized",
+                                   workers=WORKERS_SERIAL)
+            sharded = standoff_step(op, context, indexes,
+                                    strategy=Strategy.LOOP_LIFTED,
+                                    kernel="vectorized", workers=4,
+                                    shard_min_rows=1)
+            assert serial == sharded, op
+
+    @pytest.mark.parametrize("strategy", ["udf", "basic", "ll"])
+    @pytest.mark.parametrize("kernel", ["ll", "vectorized", "auto"])
+    def test_engine_level_sharded_equals_serial(self, strategy, kernel):
+        db = _standoff_db()
+        query = ('for $m in doc("v.xml")//music '
+                 'return $m/select-wide::shot')
+        serial = db.query(query, strategy=strategy,
+                          kernel=kernel).serialize()
+        sharded = db.query(query, strategy=strategy, kernel=kernel,
+                           workers=4, shard_min_rows=1).serialize()
+        assert serial == sharded, (strategy, kernel)
+
+    def test_engine_rejects_bad_shard_min_rows(self):
+        db = _standoff_db(5)
+        with pytest.raises(ValueError, match="shard_min_rows"):
+            db.query('doc("v.xml")//music', shard_min_rows=0)
+
+    def test_anti_join_sharded(self):
+        db = _standoff_db()
+        query = ('for $m in doc("v.xml")//music '
+                 'return count($m/reject-narrow::shot)')
+        serial = db.query(query, strategy="ll").serialize()
+        sharded = db.query(query, strategy="ll", workers=4,
+                           shard_min_rows=1).serialize()
+        assert serial == sharded
+
+    def test_multi_fragment_sharded(self):
+        # Constructed fragments + a stored document in one step.
+        db = _standoff_db(20)
+        query = ('let $f := <r><m start="5" end="50">'
+                 '<s start="7" end="9"/></m></r> '
+                 'return ($f//m/select-wide::s, '
+                 'doc("v.xml")//music/select-wide::shot)')
+        serial = db.query(query, strategy="ll").serialize()
+        sharded = db.query(query, strategy="ll", workers=4,
+                           shard_min_rows=1).serialize()
+        assert serial == sharded
+
+
+# ----------------------------------------------------------------------
+# regression: the two known fallback corners under auto + sharding
+# ----------------------------------------------------------------------
+
+SIBLING_XML = ('<r><a i="1"/><b/><a i="2"><c/><d/><c/></a>'
+               '<b j="9"/><a i="3"/>text<b/></r>')
+
+
+class TestFallbackCorners:
+    @pytest.mark.parametrize("axis", ["following-sibling",
+                                      "preceding-sibling"])
+    def test_sibling_axes_dom_fallback_sharded(self, axis):
+        """``following-sibling``/``preceding-sibling`` have no shredded
+        kernel; the DOM walk must serve them — correctly, without
+        crashing — under kernel='auto' + workers."""
+        db = Database()
+        db.add_document("d.xml", SIBLING_XML)
+        for query in (f'doc("d.xml")//a/{axis}::b',
+                      f'doc("d.xml")//b/{axis}::node()',
+                      f'for $a in doc("d.xml")//a '
+                      f'return count($a/{axis}::*)'):
+            reference = db.query(query, strategy="basic").serialize()
+            got = db.query(query, strategy="ll", kernel="auto",
+                           staircase_kernel="auto", workers=4,
+                           shard_min_rows=1).serialize()
+            assert got == reference, (axis, query)
+
+    def test_constructed_fragment_staircase_fallback_sharded(self):
+        """The staircase fast path covers stored documents only;
+        constructed fragments fall back to the DOM walk — correct and
+        crash-free under kernel='auto' + workers."""
+        db = Database()
+        db.add_document("d.xml", SIBLING_XML)
+        queries = [
+            'let $f := <x><a><b/><b/></a><c><b/></c></x> '
+            'return $f/descendant::b',
+            'let $f := <x><a><b/></a></x> '
+            'return for $b in $f//b return count($b/ancestor::*)',
+            'let $f := <x><a/><b/><c/></x> return $f/child::node()',
+        ]
+        for query in queries:
+            reference = db.query(query, strategy="basic").serialize()
+            got = db.query(query, strategy="ll", kernel="auto",
+                           staircase_kernel="auto", workers=4,
+                           shard_min_rows=1).serialize()
+            assert got == reference, query
+
+    def test_mixed_stored_and_constructed_context(self):
+        """A step whose context mixes a stored document with a
+        constructed fragment cannot use the staircase fast path for
+        either — the fallback must handle the union."""
+        db = Database()
+        db.add_document("d.xml", SIBLING_XML)
+        query = ('for $x in (doc("d.xml")/r, <x><a><b/></a></x>) '
+                 'return count($x/descendant::*)')
+        reference = db.query(query, strategy="basic").serialize()
+        got = db.query(query, strategy="ll", staircase_kernel="auto",
+                       workers=4, shard_min_rows=1).serialize()
+        assert got == reference
