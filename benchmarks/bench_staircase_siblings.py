@@ -1,0 +1,79 @@
+"""Sibling-axis staircase kernels: batched columnar vs the DOM walk.
+
+The PR 5 companion of ``bench_staircase_axes.py``: one iteration per
+XMark ``bidder`` element, bidders as candidates (the bidders inside one
+auction are each other's siblings), running the three serving paths for
+``following-sibling``/``preceding-sibling`` against each other —
+
+* the per-node DOM walk (``repro.xquery.axes``), which served the
+  sibling axes before the shredded kernels existed and remains the
+  ``basic``-strategy oracle;
+* the dict-shaped per-set reference joins (``staircase/staircase.py``
+  through ``loop_lifted.ll_axis_join``);
+* the batched columnar kernels (``staircase/kernels_vec.py``).
+
+The trajectory harness (``run_all.py``, scenario family
+``staircase_siblings.*``) sweeps document scales; this file keeps the
+pytest-benchmark view at one scale.
+"""
+
+import pytest
+
+from repro.staircase.kernels_vec import vec_staircase_join
+from repro.staircase.loop_lifted import ll_axis_join
+from repro.xmldb import Element
+from repro.xquery.axes import AXIS_FUNCTIONS
+
+AXES = ("following-sibling", "preceding-sibling")
+
+
+@pytest.fixture(scope="module")
+def inputs(xmark_db):
+    stored = xmark_db.store.get("xmark.xml")
+    shredded = stored.shredded
+    bidders = shredded.elements_named("bidder")
+    context = [(it, int(pre))
+               for it, pre in enumerate(bidders.tolist())]
+    return shredded, context, bidders
+
+
+@pytest.mark.parametrize("axis", AXES)
+def test_sibling_dom_walk(benchmark, inputs, axis):
+    shredded, context, _bidders = inputs
+    axis_fn = AXIS_FUNCTIONS[axis]
+
+    def walk():
+        out = {}
+        for it, pre in context:
+            node = shredded.node_by_pre(pre)
+            matched = [s.pre for s in axis_fn(node)
+                       if isinstance(s, Element) and s.tag == "bidder"]
+            if matched:
+                out[it] = matched
+        return out
+
+    assert isinstance(benchmark(walk), dict)
+
+
+@pytest.mark.parametrize("axis", AXES)
+def test_sibling_ll_dict(benchmark, inputs, axis):
+    shredded, context, bidders = inputs
+    result = benchmark(
+        lambda: ll_axis_join(shredded, axis, context, bidders))
+    assert isinstance(result, dict)
+
+
+@pytest.mark.parametrize("axis", AXES)
+def test_sibling_vectorized(benchmark, inputs, axis):
+    shredded, context, bidders = inputs
+    result = benchmark(
+        lambda: vec_staircase_join(axis, shredded, context, bidders))
+    assert result is not None
+
+
+def test_kernels_agree(inputs):
+    shredded, context, bidders = inputs
+    for axis in AXES:
+        vec = vec_staircase_join(axis, shredded, context, bidders)
+        assert vec.to_dict() == ll_axis_join(shredded, axis, context,
+                                             bidders), axis

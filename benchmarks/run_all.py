@@ -14,15 +14,15 @@ bench_*.py it mirrors), ``kernel`` (``ll-list`` | ``ll-heap`` |
 ``ll-dict`` | ``vectorized`` | ``auto`` | ``null`` for non-join
 scenarios), ``n`` (workload size), ``seconds`` (median wall time;
 ``null`` + ``dnf: true`` on budget overrun) and ``repeats``.  The
-staircase-vs-standoff, staircase-axis and sharding scenarios sweep
-scales; the summary block records the vectorized-kernel and fan-out
+staircase-vs-standoff, staircase-axis, sibling-axis and sharding
+scenarios sweep scales; the summary block records the vectorized-kernel and fan-out
 speedups at the largest size — the perf-trajectory headlines.  The
 ``sharding.*`` family measures the worker-pool fan-out
 (:mod:`repro.exec.sharding`) against the deterministic serial
 reference, per join family (``.serial`` vs ``.workers4`` scenario
 variants; each record carries the ``workers`` setting).
 
-Output defaults to ``BENCH_PR4.json`` (``BENCH_SMOKE.json`` with
+Output defaults to ``BENCH_PR5.json`` (``BENCH_SMOKE.json`` with
 ``--smoke``) at the repository root.
 
 **Trajectory comparison**: a full run whose label is ``PR<k>`` is
@@ -86,6 +86,7 @@ from repro.xquery import Database                         # noqa: E402
 LL_LIST = "ll-list"
 LL_HEAP = "ll-heap"
 LL_DICT = "ll-dict"        # dict-shaped staircase reference path
+DOM_WALK = "dom-walk"      # per-node DOM walk (the basic-strategy step)
 VECTORIZED = "vectorized"
 AUTO = "auto"
 
@@ -94,7 +95,7 @@ AUTO = "auto"
 #: out of later runs (``--require`` overrides; ``--require none``
 #: disables).
 REQUIRED_SCENARIO_PREFIXES = ("staircase.", "staircase_axes.",
-                              "sharding.")
+                              "sharding.", "staircase_siblings.")
 
 
 class Runner:
@@ -467,6 +468,86 @@ def scenario_staircase_axes(r: Runner) -> dict | None:
 
 
 @functools.lru_cache(maxsize=None)
+def _sibling_workload(scale: float):
+    """One iteration per ``bidder`` element, bidders as candidates —
+    the bidders inside one auction are each other's siblings, so both
+    sibling axes produce non-trivial per-iteration windows."""
+    shredded, _rows, bidders, _ctx, _cand, label = \
+        _staircase_workload(scale)
+    context_rows = [(it, int(pre))
+                    for it, pre in enumerate(bidders.tolist())]
+    return shredded, context_rows, bidders, label
+
+
+def scenario_staircase_siblings(r: Runner) -> dict | None:
+    """Sibling-axis kernels: the per-node DOM walk (the pre-PR5 serving
+    path) vs the dict-shaped reference vs the batched columnar kernel;
+    returns the following-sibling speedup over the DOM walk at the
+    largest size."""
+    from repro.staircase.kernels_vec import vec_staircase_join
+    from repro.staircase.loop_lifted import ll_axis_join
+    from repro.xmldb import Element
+    from repro.xquery.axes import AXIS_FUNCTIONS
+
+    file = "bench_staircase_siblings.py"
+    axes = ("following-sibling", "preceding-sibling")
+    scales = (0.25,) if r.smoke else (0.5, 4.0, 16.0)
+    summary = None
+    for scale in scales:
+        names = {axis: (f"staircase_siblings.scale{scale}."
+                        f"{axis.replace('-', '_')}") for axis in axes}
+        if not r.any_wanted(*names.values()):
+            continue
+        shredded, context_rows, bidders, label = _sibling_workload(scale)
+        n = 2 * len(context_rows)
+        for axis in axes:
+            name = names[axis]
+            axis_fn = AXIS_FUNCTIONS[axis]
+            if scale == scales[0]:
+                # Kernel-agreement guard at the cheapest scale only;
+                # the committed differential suite covers the rest.
+                assert vec_staircase_join(
+                    axis, shredded, context_rows,
+                    bidders).to_dict() == ll_axis_join(
+                        shredded, axis, context_rows, bidders), \
+                    f"sibling kernels diverged on {axis}"
+
+            def dom_walk(axis_fn=axis_fn):
+                out = {}
+                for it, pre in context_rows:
+                    node = shredded.node_by_pre(pre)
+                    matched = [s.pre for s in axis_fn(node)
+                               if isinstance(s, Element)
+                               and s.tag == "bidder"]
+                    if matched:
+                        out[it] = matched
+                return out
+
+            timings = {}
+            for kernel, fn in (
+                    (DOM_WALK, dom_walk),
+                    (LL_DICT, lambda axis=axis: ll_axis_join(
+                        shredded, axis, context_rows, bidders)),
+                    (VECTORIZED, lambda axis=axis: vec_staircase_join(
+                        axis, shredded, context_rows, bidders))):
+                timings[kernel] = r.measure(
+                    name, file, kernel, n, fn,
+                    label=f"{name}[{kernel}]", scale=scale, size=label)
+            if axis == "following-sibling" \
+                    and math.isfinite(timings[DOM_WALK]) \
+                    and math.isfinite(timings[VECTORIZED]) \
+                    and timings[VECTORIZED] > 0:
+                summary = {
+                    "scale": scale, "size": label, "n": int(n),
+                    "dom_walk_seconds": round(timings[DOM_WALK], 6),
+                    "vectorized_seconds": round(timings[VECTORIZED], 6),
+                    "speedup": round(timings[DOM_WALK]
+                                     / timings[VECTORIZED], 2),
+                }
+    return summary
+
+
+@functools.lru_cache(maxsize=None)
 def _sharding_standoff_workload(scale: float, smoke: bool):
     """A dense loop-lifted StandOff workload whose iteration count
     sweeps with *scale* (the candidate table stays fixed, like the
@@ -695,7 +776,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="DNF budget seconds per scenario "
                              "(default: 120, smoke: 30)")
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="output JSON path (default: BENCH_PR4.json "
+                        help="output JSON path (default: BENCH_PR5.json "
                              "at the repo root; BENCH_SMOKE.json with "
                              "--smoke)")
     parser.add_argument("--pr", default=None, metavar="LABEL",
@@ -741,7 +822,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         out = Path(args.out) if args.out else \
             _ROOT / ("BENCH_SMOKE.json" if args.smoke
-                     else "BENCH_PR4.json")
+                     else "BENCH_PR5.json")
         pr_label = args.pr if args.pr else (
             out.stem[len("BENCH_"):] if out.stem.startswith("BENCH_")
             else out.stem)
@@ -755,6 +836,7 @@ def main(argv: list[str] | None = None) -> int:
             scenario(runner)
         staircase_summary = scenario_staircase(runner)
         axes_summary = scenario_staircase_axes(runner)
+        siblings_summary = scenario_staircase_siblings(runner)
         sharding_summary = scenario_sharding(runner)
 
         payload = {
@@ -770,6 +852,7 @@ def main(argv: list[str] | None = None) -> int:
                 "scenario_count": len(runner.records),
                 "staircase_vectorized_headline": staircase_summary,
                 "staircase_axes_headline": axes_summary,
+                "staircase_siblings_headline": siblings_summary,
                 "sharding_headline": sharding_summary,
             },
         }
@@ -785,6 +868,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"staircase axes headline: vectorized descendant "
                   f"{axes_summary['speedup']}x vs ll-dict at scale "
                   f"{axes_summary['scale']} ({axes_summary['size']})")
+        if siblings_summary:
+            print(f"staircase siblings headline: vectorized "
+                  f"following-sibling {siblings_summary['speedup']}x "
+                  f"vs the DOM walk at scale "
+                  f"{siblings_summary['scale']} "
+                  f"({siblings_summary['size']})")
         if sharding_summary:
             print(f"sharding headline: standoff select-wide workers=4 "
                   f"{sharding_summary['speedup']}x vs serial at scale "

@@ -75,6 +75,16 @@ KERNEL_AUTO = "auto"
 
 SUPPORTED_KERNELS = (KERNEL_LL, KERNEL_VECTORIZED, KERNEL_AUTO)
 
+#: The tree axes every staircase-family kernel serves on the shredded
+#: pre/size encoding.  Registered on the family's kernel specs so that
+#: axis validation (and its :class:`~repro.errors.UnknownKernelError`
+#: listing) comes from the same registry that resolves kernel names —
+#: the DOM walk remains only as the ``basic``-strategy oracle.
+STAIRCASE_AXIS_NAMES = (
+    "descendant", "ancestor", "child", "following", "preceding",
+    "following-sibling", "preceding-sibling",
+)
+
 DEFAULT_KERNEL = KERNEL_LL
 
 #: Staircase axes default to ``auto``: the vectorized axis kernels are
@@ -162,12 +172,16 @@ class KernelSpec:
         results natively.
     :param traceable: True when the kernel can report Listing 1's
         add/replace/trim/emit events to a trace sink.
+    :param axes: the axis steps the kernel serves (staircase family:
+        :data:`STAIRCASE_AXIS_NAMES`); empty for families whose joins
+        are not axis-shaped (StandOff).
     """
 
     family: str
     name: str
     batched: bool = False
     traceable: bool = False
+    axes: tuple[str, ...] = ()
 
 
 class KernelRegistry:
@@ -182,9 +196,11 @@ class KernelRegistry:
 
     def __init__(self) -> None:
         self._specs: dict[tuple[str, str], KernelSpec] = {}
+        self._axes_cache: dict[str, tuple[str, ...]] = {}
 
     def register(self, spec: KernelSpec) -> KernelSpec:
         self._specs[(spec.family, spec.name)] = spec
+        self._axes_cache.clear()
         return spec
 
     def families(self) -> tuple[str, ...]:
@@ -201,6 +217,33 @@ class KernelRegistry:
     def spec(self, family: str, name: str) -> KernelSpec:
         self.validate(family, name)
         return self._specs[(family, name)]
+
+    def axes(self, family: str) -> tuple[str, ...]:
+        """The union of axis steps the family's kernels serve (cached —
+        axis validation sits on the kernel dispatch hot path)."""
+        cached = self._axes_cache.get(family)
+        if cached is not None:
+            return cached
+        self.names(family)
+        out: dict[str, None] = {}
+        for (f, _n), spec in self._specs.items():
+            if f == family:
+                out.update(dict.fromkeys(spec.axes))
+        self._axes_cache[family] = tuple(out)
+        return self._axes_cache[family]
+
+    def validate_axis(self, family: str, axis: str) -> str:
+        """Check *axis* against the family's registered axis steps.
+
+        :raises UnknownKernelError: when no kernel of the family serves
+            the axis; the message lists the valid axes.
+        """
+        axes = self.axes(family)
+        if axis not in axes:
+            raise UnknownKernelError(
+                f"no {family} kernel for axis {axis!r}; expected one of "
+                f"{sorted(axes)}")
+        return axis
 
     def validate(self, family: str, name: str) -> str:
         """Check *name* against the family's registered kernels.
@@ -270,11 +313,14 @@ class KernelRegistry:
 KERNELS = KernelRegistry()
 
 for _family in SUPPORTED_FAMILIES:
+    _axes = STAIRCASE_AXIS_NAMES if _family == FAMILY_STAIRCASE else ()
     KERNELS.register(KernelSpec(_family, KERNEL_LL,
-                                traceable=_family == FAMILY_STANDOFF))
-    KERNELS.register(KernelSpec(_family, KERNEL_VECTORIZED, batched=True))
-    KERNELS.register(KernelSpec(_family, KERNEL_AUTO))
-del _family
+                                traceable=_family == FAMILY_STANDOFF,
+                                axes=_axes))
+    KERNELS.register(KernelSpec(_family, KERNEL_VECTORIZED, batched=True,
+                                axes=_axes))
+    KERNELS.register(KernelSpec(_family, KERNEL_AUTO, axes=_axes))
+del _family, _axes
 
 
 @dataclass(frozen=True)

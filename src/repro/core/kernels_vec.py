@@ -241,13 +241,34 @@ def estimate_probe_pairs(context: IterContext, candidates: RegionTable,
     Two ``searchsorted`` probes per iteration over structures that are
     cached anyway (the context segmentation, the start-clustered
     candidate table), so the estimate costs a negligible fraction of
-    either kernel.
+    either kernel.  The window sum saturates instead of wrapping: on
+    pathological region counts an int64 overflow would turn the
+    estimate negative and silently defeat the
+    :data:`~repro.config.AUTO_KERNEL_MAX_PAIRS` guard.
     """
     if len(context) == 0 or len(candidates) == 0:
         return 0
     seg = _context_segments(context)
     j0, j1 = _candidate_windows(seg, candidates, wide=wide)
-    return int((j1 - j0).sum())
+    return saturating_pair_count(j1 - j0)
+
+
+def saturating_pair_count(counts: np.ndarray, *,
+                          cap: int = _INT64_BUDGET) -> int:
+    """Sum non-negative int64 window counts, saturating at *cap*.
+
+    A wrapped int64 sum would compare *below* any pair budget; the
+    float64 pre-check is monotone and overflow-free, and every consumer
+    only compares the result against budgets orders of magnitude below
+    the cap, so precision above it is irrelevant.  Sums that pass the
+    pre-check fit int64 exactly (partial sums of non-negative terms
+    never exceed the total).
+    """
+    if len(counts) == 0:
+        return 0
+    if float(np.sum(counts, dtype=np.float64)) >= cap:
+        return cap
+    return int(counts.sum())
 
 
 # ----------------------------------------------------------------------

@@ -11,11 +11,13 @@ two different dimensions per join family:
   that owns all context rows of its iterations computes exactly the
   per-iteration slices of the unsharded result.
 * **Staircase axes** partition the *candidate pool* by contiguous
-  pre-order ranges: each batched axis kernel filters an arbitrary
-  sorted pool subset, and because the ranges are contiguous and
-  ascending, every iteration's matches in shard *k* precede those in
-  shard *k + 1* — the merged result needs a k-way concatenation, never
-  a re-sort.
+  pre-order ranges: each batched axis kernel — the sibling kernels
+  included, which re-cluster whatever pool slice they receive — filters
+  an arbitrary sorted pool subset, and because the ranges are
+  contiguous and ascending, every iteration's matches in shard *k*
+  precede those in shard *k + 1* — the merged result needs a k-way
+  concatenation, never a re-sort.  (Context-bound axes like the
+  ancestor climb opt out; see the kernel module.)
 
 :func:`plan_shards` / :func:`partition_by_iteration` build the
 :class:`ShardPlan`, :func:`run_shards` dispatches one batched kernel

@@ -12,7 +12,9 @@ from repro.staircase.kernels_vec import (
     vec_child,
     vec_descendant,
     vec_following,
+    vec_following_sibling,
     vec_preceding,
+    vec_preceding_sibling,
     vec_staircase_join,
 )
 from repro.staircase.loop_lifted import (
@@ -26,8 +28,10 @@ from repro.staircase.staircase import (
     child_join,
     descendant_join,
     following_join,
+    following_sibling_join,
     parent_join,
     preceding_join,
+    preceding_sibling_join,
 )
 
 __all__ = [
@@ -42,6 +46,8 @@ __all__ = [
     "parent_join",
     "following_join",
     "preceding_join",
+    "following_sibling_join",
+    "preceding_sibling_join",
     "ll_descendant_join",
     "ll_axis_join",
     "iterated_descendant_join",
@@ -52,4 +58,6 @@ __all__ = [
     "vec_child",
     "vec_following",
     "vec_preceding",
+    "vec_following_sibling",
+    "vec_preceding_sibling",
 ]

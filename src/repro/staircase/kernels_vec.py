@@ -27,7 +27,14 @@ The context is ``(iter, pre)`` pairs; per axis:
   ``following`` is the pool suffix past the smallest context subtree
   end, ``preceding`` the pool prefix (ordered by subtree end) before
   the largest context pre.  Attribute context nodes anchor at their
-  owner element, as in the DOM walk.
+  owner element — deduplicated at the anchor boundary — as in the DOM
+  walk;
+* **following-sibling** / **preceding-sibling** — the candidate pool is
+  re-clustered by owner (stable argsort of ``parent[pool]``), then each
+  context row takes a ``searchsorted`` window of its owner's contiguous
+  child run, split at the anchor pre.  Attribute context nodes have no
+  siblings, attribute pool rows are never siblings; both drop out up
+  front.
 
 Within one iteration, surviving descendant windows are disjoint and
 ascending, so the matched pairs leave the expansion already in
@@ -160,6 +167,31 @@ def _pool(doc: ShreddedDocument,
 def _no_or_self(axis: str, or_self: bool) -> None:
     if or_self:
         raise ValueError(f"the {axis} axis has no or-self variant")
+
+
+def _anchored_segments(doc: ShreddedDocument, its: np.ndarray,
+                       pres: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Anchor a canonical context and dedupe at the anchor boundary.
+
+    Attribute pres map to their owner element, which can collapse
+    distinct context rows of one iteration onto the same anchor (two
+    attributes of one element); the duplicates are removed so the
+    following/preceding kernels never see — and can never re-emit for —
+    a repeated anchor.  Anchoring preserves the (iter, pre) sort order
+    (an attribute's owner precedes it, and no other node sits between
+    an element and its attributes), so the dedupe is one adjacent
+    comparison.  Returns ``(iters, anchors, segment offsets)``.
+    """
+    anchors = anchor_pres(doc, pres)
+    if len(its) > 1:
+        keep = np.empty(len(its), bool)
+        keep[0] = True
+        np.logical_or(its[1:] != its[:-1], anchors[1:] != anchors[:-1],
+                      out=keep[1:])
+        if not keep.all():
+            its, anchors = its[keep], anchors[keep]
+    return its, anchors, run_starts(its)
 
 
 def _climb(parent: np.ndarray, iters: np.ndarray, start: np.ndarray
@@ -310,8 +342,7 @@ def vec_following(doc: ShreddedDocument, context: ContextPairs,
     its, pres = _context_arrays(context)
     if len(its) == 0:
         return ColumnarResult.empty()
-    seg_off = run_starts(its)
-    anchors = anchor_pres(doc, pres)
+    its, anchors, seg_off = _anchored_segments(doc, its, pres)
     sub_end = anchors + doc.size[anchors]
     thresholds = np.minimum.reduceat(sub_end, seg_off)
     pool = _pool(doc, candidates)
@@ -339,8 +370,7 @@ def vec_preceding(doc: ShreddedDocument, context: ContextPairs,
     its, pres = _context_arrays(context)
     if len(its) == 0:
         return ColumnarResult.empty()
-    seg_off = run_starts(its)
-    anchors = anchor_pres(doc, pres)
+    its, anchors, seg_off = _anchored_segments(doc, its, pres)
     thresholds = np.maximum.reduceat(anchors, seg_off)
     uniq_its = its[seg_off]
     pool = _pool(doc, candidates)
@@ -361,6 +391,76 @@ def vec_preceding(doc: ShreddedDocument, context: ContextPairs,
                                      unique=True)
 
 
+def _vec_siblings(doc: ShreddedDocument, context: ContextPairs,
+                  candidates: np.ndarray | None, *,
+                  following: bool) -> ColumnarResult:
+    """Shared batched sibling step: per-iteration parent-column lookup
+    plus ``searchsorted`` window slicing within the owner's child span.
+
+    The siblings of *p* are exactly the nodes in
+    ``(parent_pre, parent_pre + size(parent)]`` with
+    ``parent == parent_pre``, split at the anchor.  The candidate pool
+    is re-clustered by owner (a stable argsort of ``parent[pool]``
+    keeps pres ascending within each owner group), so each context row
+    takes one composite-key ``searchsorted`` slice of its owner's
+    contiguous child run — before or after the anchor pre.  Attribute
+    context nodes have no siblings (they are not children of their
+    owner), and attribute pool rows are never siblings of anything;
+    both drop out up front, exactly as in the DOM walk.
+    """
+    from repro.xmldb.dom import Attr
+
+    its, pres = _context_arrays(context)
+    if len(its) == 0:
+        return ColumnarResult.empty()
+    live = (doc.kind[pres] != Attr.kind) & (doc.parent[pres] >= 0)
+    its, pres = its[live], pres[live]
+    if len(its) == 0:
+        return ColumnarResult.empty()
+    owners = doc.parent[pres]
+    pool = _pool(doc, candidates)
+    pool_par = doc.parent[pool]
+    ok = (pool_par >= 0) & (doc.kind[pool] != Attr.kind)
+    sib, sib_par = pool[ok], pool_par[ok]
+    if len(sib) == 0:
+        return ColumnarResult.empty()
+    # Cluster the sibling pool by owner; the stable sort keeps pres
+    # ascending inside each owner's run, so the composite keys are
+    # globally sorted and one searchsorted per bound suffices.
+    order = np.argsort(sib_par, kind="stable")
+    sib, sib_par = sib[order], sib_par[order]
+    span = np.int64(len(doc) + 1)
+    keys = sib_par * span + sib
+    if following:
+        j0 = np.searchsorted(keys, owners * span + pres, side="right")
+        j1 = np.searchsorted(keys, (owners + 1) * span, side="left")
+    else:
+        j0 = np.searchsorted(keys, owners * span, side="left")
+        j1 = np.searchsorted(keys, owners * span + pres, side="left")
+    iters, values = _emit_ranges(its, j0, j1, lookup=sib)
+    # Context rows sharing an owner within one iteration emit
+    # overlapping windows — canonicalization sorts and dedupes.
+    return ColumnarResult.from_pairs(iters, values)
+
+
+def vec_following_sibling(doc: ShreddedDocument, context: ContextPairs,
+                          candidates: np.ndarray | None = None, *,
+                          or_self: bool = False) -> ColumnarResult:
+    """Batched following-sibling step: the suffix of the owner's child
+    span past the anchor's subtree."""
+    _no_or_self("following-sibling", or_self)
+    return _vec_siblings(doc, context, candidates, following=True)
+
+
+def vec_preceding_sibling(doc: ShreddedDocument, context: ContextPairs,
+                          candidates: np.ndarray | None = None, *,
+                          or_self: bool = False) -> ColumnarResult:
+    """Batched preceding-sibling step: the owner's child span before
+    the anchor."""
+    _no_or_self("preceding-sibling", or_self)
+    return _vec_siblings(doc, context, candidates, following=False)
+
+
 # ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
@@ -371,6 +471,8 @@ VEC_STAIRCASE_AXES = {
     "child": vec_child,
     "following": vec_following,
     "preceding": vec_preceding,
+    "following-sibling": vec_following_sibling,
+    "preceding-sibling": vec_preceding_sibling,
 }
 
 
@@ -378,14 +480,11 @@ def vec_staircase_join(axis: str, doc: ShreddedDocument,
                        context: ContextPairs,
                        candidates: np.ndarray | None = None, *,
                        or_self: bool = False) -> ColumnarResult:
-    """Dispatch a batched staircase axis step by axis name."""
-    try:
-        fn = VEC_STAIRCASE_AXES[axis]
-    except KeyError:
-        raise ValueError(
-            f"no staircase kernel for axis {axis!r}; expected one of "
-            f"{sorted(VEC_STAIRCASE_AXES)}") from None
-    return fn(doc, context, candidates, or_self=or_self)
+    """Dispatch a batched staircase axis step by axis name (validated
+    against the registry's staircase axis listing)."""
+    KERNELS.validate_axis(FAMILY_STAIRCASE, axis)
+    return VEC_STAIRCASE_AXES[axis](doc, context, candidates,
+                                    or_self=or_self)
 
 
 def staircase_join(axis: str, doc: ShreddedDocument,

@@ -128,10 +128,12 @@ def ll_axis_join(doc: ShreddedDocument, axis: str,
     """Reference loop-lifted staircase axis step (dict results).
 
     The ``ll`` kernel of the staircase family: the descendant axis runs
-    the single-pass :func:`ll_descendant_join`, the other axes call the
-    per-set joins of :mod:`repro.staircase.staircase` once per
-    iteration.  ``or_self`` includes a context pre when it is in the
-    candidate pool.  Semantically identical to
+    the single-pass :func:`ll_descendant_join`, the other axes — the
+    sibling axes included — call the per-set joins of
+    :mod:`repro.staircase.staircase` once per iteration; axis names are
+    validated against the registry's staircase axis listing.
+    ``or_self`` includes a context pre when it is in the candidate
+    pool.  Semantically identical to
     :func:`repro.staircase.kernels_vec.vec_staircase_join`.
     """
     from repro.staircase import staircase as sj
@@ -143,15 +145,15 @@ def ll_axis_join(doc: ShreddedDocument, axis: str,
     if axis == "descendant":
         out = ll_descendant_join(doc, context, candidates)
     else:
-        try:
-            fn = {"ancestor": sj.ancestor_join,
-                  "child": sj.child_join,
-                  "following": sj.following_join,
-                  "preceding": sj.preceding_join}[axis]
-        except KeyError:
-            raise ValueError(
-                f"no staircase reference join for axis {axis!r}"
-            ) from None
+        from repro.config import FAMILY_STAIRCASE, KERNELS
+
+        KERNELS.validate_axis(FAMILY_STAIRCASE, axis)
+        fn = {"ancestor": sj.ancestor_join,
+              "child": sj.child_join,
+              "following": sj.following_join,
+              "preceding": sj.preceding_join,
+              "following-sibling": sj.following_sibling_join,
+              "preceding-sibling": sj.preceding_sibling_join}[axis]
         out = {}
         for it, pres in per_iter.items():
             res = fn(doc, np.asarray(pres, dtype=np.int64), candidates)

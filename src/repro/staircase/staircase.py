@@ -106,6 +106,19 @@ def parent_join(doc: ShreddedDocument, context_pres: np.ndarray
     return np.unique(parents)
 
 
+def _anchored_unique(doc: ShreddedDocument,
+                     context_pres: np.ndarray) -> np.ndarray:
+    """Unique anchor pres of a context set — the anchor boundary.
+
+    Mapping attributes to their owner element can collapse distinct
+    context pres onto one anchor (two attributes of one element), so
+    anchors are deduplicated *after* anchoring; downstream joins may
+    then treat them as a set without re-emitting per duplicate.
+    """
+    pres = np.unique(np.asarray(context_pres, dtype=np.int64))
+    return np.unique(anchor_pres(doc, pres))
+
+
 def following_join(doc: ShreddedDocument, context_pres: np.ndarray,
                    candidates: np.ndarray | None = None) -> np.ndarray:
     """Following axis: nodes past every context subtree.
@@ -113,12 +126,11 @@ def following_join(doc: ShreddedDocument, context_pres: np.ndarray,
     In the pre/size encoding the following set of a node *v* is exactly
     ``{q : pre(q) > pre(v) + size(v)}``, so the union over a context set
     is one threshold — the smallest subtree end.  Attributes anchor at
-    their owner element (:func:`anchor_pres`).
+    their owner element (:func:`anchor_pres`, deduplicated).
     """
     if len(context_pres) == 0:
         return np.empty(0, dtype=np.int64)
-    pres = np.unique(np.asarray(context_pres, dtype=np.int64))
-    anchors = anchor_pres(doc, pres)
+    anchors = _anchored_unique(doc, context_pres)
     threshold = int((anchors + doc.size[anchors]).min())
     pool = doc.pre if candidates is None \
         else np.asarray(candidates, dtype=np.int64)
@@ -136,8 +148,77 @@ def preceding_join(doc: ShreddedDocument, context_pres: np.ndarray,
     """
     if len(context_pres) == 0:
         return np.empty(0, dtype=np.int64)
-    pres = np.unique(np.asarray(context_pres, dtype=np.int64))
-    threshold = int(anchor_pres(doc, pres).max())
+    threshold = int(_anchored_unique(doc, context_pres).max())
     pool = doc.pre if candidates is None \
         else np.asarray(candidates, dtype=np.int64)
     return np.sort(pool[pool + doc.size[pool] < threshold])
+
+
+def _sibling_anchors(doc: ShreddedDocument,
+                     context_pres: np.ndarray) -> np.ndarray:
+    """Context pres that have siblings at all: attribute nodes are not
+    children of their owner (the DOM walk yields nothing for them) and
+    fragment roots have no parent."""
+    pres = np.unique(np.asarray(context_pres, dtype=np.int64))
+    keep = (doc.kind[pres] != Attr.kind) & (doc.parent[pres] >= 0)
+    return pres[keep]
+
+
+def _sibling_window(doc: ShreddedDocument, pool: np.ndarray,
+                    lo: int, hi: int, parent_pre: int) -> np.ndarray:
+    """Pool entries in ``(lo, hi]`` that are genuine children of
+    *parent_pre* — attribute rows share the parent column but are not
+    siblings."""
+    a = np.searchsorted(pool, lo, side="right")
+    b = np.searchsorted(pool, hi, side="right")
+    window = pool[a:b]
+    keep = doc.parent[window] == parent_pre
+    keep &= doc.kind[window] != Attr.kind
+    return window[keep]
+
+
+def following_sibling_join(doc: ShreddedDocument,
+                           context_pres: np.ndarray,
+                           candidates: np.ndarray | None = None
+                           ) -> np.ndarray:
+    """Following-sibling axis on the shredded encoding.
+
+    The siblings of *v* after it are exactly the nodes in
+    ``(pre(v) + size(v), parent_pre + size(parent))`` with
+    ``parent == parent_pre`` — the suffix of the owner's child span
+    past *v*'s subtree.
+    """
+    if len(context_pres) == 0:
+        return np.empty(0, dtype=np.int64)
+    pres = _sibling_anchors(doc, context_pres)
+    pool = doc.pre if candidates is None \
+        else np.asarray(candidates, dtype=np.int64)
+    chunks = []
+    for p in pres.tolist():
+        parent_pre = int(doc.parent[p])
+        chunks.append(_sibling_window(
+            doc, pool, p + int(doc.size[p]),
+            parent_pre + int(doc.size[parent_pre]), parent_pre))
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(chunks))
+
+
+def preceding_sibling_join(doc: ShreddedDocument,
+                           context_pres: np.ndarray,
+                           candidates: np.ndarray | None = None
+                           ) -> np.ndarray:
+    """Preceding-sibling axis: the owner's child span before *v*."""
+    if len(context_pres) == 0:
+        return np.empty(0, dtype=np.int64)
+    pres = _sibling_anchors(doc, context_pres)
+    pool = doc.pre if candidates is None \
+        else np.asarray(candidates, dtype=np.int64)
+    chunks = []
+    for p in pres.tolist():
+        parent_pre = int(doc.parent[p])
+        chunks.append(_sibling_window(doc, pool, parent_pre, p - 1,
+                                      parent_pre))
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(chunks))

@@ -337,6 +337,39 @@ class Document(Node):
         return f"<Document {self.uri!r} doc_id={self.doc_id}>"
 
 
+def renumber_fragment(root: Node) -> list[Node]:
+    """Assign local pre ranks to an orphan fragment; nodes in pre order.
+
+    The single numbering scheme for subtrees outside a document —
+    identical to :meth:`Document.renumber` (attributes directly after
+    their element, counted in the subtree size), so constructor
+    numbering, transient region indexes and on-demand shredding all
+    agree.  Re-running it on an already-numbered fragment is a no-op
+    reassignment.
+    """
+    nodes: list[Node] = []
+
+    def walk(node: Node, level: int) -> int:
+        node.pre = len(nodes)
+        node.level = level
+        nodes.append(node)
+        count = 0
+        if isinstance(node, Element):
+            for attr in node.attributes:
+                attr.pre = len(nodes)
+                attr.level = level + 1
+                attr.size = 0
+                nodes.append(attr)
+                count += 1
+        for child in node.children:
+            count += 1 + walk(child, level + 1)
+        node.size = count
+        return count
+
+    walk(root, 0)
+    return nodes
+
+
 def document_order(nodes) -> list[Node]:
     """Sort nodes in document order, removing duplicates (by identity)."""
     seen: set[int] = set()
@@ -351,7 +384,8 @@ def document_order(nodes) -> list[Node]:
 
 __all__ = [
     "Node", "Text", "Comment", "ProcessingInstruction", "Attr", "Element",
-    "Document", "document_order", "escape_text", "escape_attribute",
+    "Document", "document_order", "renumber_fragment",
+    "escape_text", "escape_attribute",
     "KIND_DOCUMENT", "KIND_ELEMENT", "KIND_TEXT", "KIND_COMMENT",
     "KIND_PI", "KIND_ATTRIBUTE",
 ]

@@ -20,19 +20,38 @@ from repro.xmldb.dom import (
     Comment,
     Document,
     Element,
+    Node,
     ProcessingInstruction,
     Text,
+    renumber_fragment,
 )
 
 
 class ShreddedDocument:
-    """Column representation of one document; pre rank is the row number."""
+    """Column representation of one fragment; pre rank is the row number.
 
-    def __init__(self, document: Document):
-        document.renumber()
-        nodes = document.all_nodes()
+    Built from a stored :class:`Document` (the classical shred) or — via
+    :func:`shred_fragment` — from a constructed orphan subtree, which is
+    numbered locally with the same scheme ``Document.renumber`` uses
+    (attributes directly after their element, counted in the subtree
+    size).  ``node_by_pre`` maps result pre ranks back to DOM nodes for
+    either origin.
+    """
+
+    def __init__(self, document: Document | None, *,
+                 nodes: list[Node] | None = None,
+                 root: Node | None = None):
+        if nodes is None:
+            document.renumber()
+            nodes = document.all_nodes()
         n = len(nodes)
         self.document = document
+        #: The fragment root: the document itself, or the orphan
+        #: subtree's top node for constructed fragments.
+        self.root = root if root is not None else document
+        # Stored documents already cache their pre -> node list; only
+        # orphan fragments need the snapshot kept here.
+        self._nodes = None if document is not None else nodes
         self.pre = np.arange(n, dtype=np.int64)
         self.size = np.fromiter((node.size for node in nodes),
                                 dtype=np.int64, count=n)
@@ -89,6 +108,12 @@ class ShreddedDocument:
     def __len__(self) -> int:
         return len(self.pre)
 
+    def node_by_pre(self, pre: int) -> Node:
+        """The DOM node with the given pre rank (any fragment origin)."""
+        if self._nodes is not None:
+            return self._nodes[pre]
+        return self.document.node_by_pre(pre)
+
     def name_of(self, pre: int) -> str | None:
         nid = self.name[pre]
         return self.names[nid] if nid >= 0 else None
@@ -131,3 +156,19 @@ class ShreddedDocument:
 def shred(document: Document) -> ShreddedDocument:
     """Shred a document into its column representation."""
     return ShreddedDocument(document)
+
+
+def shred_fragment(root: Node) -> ShreddedDocument:
+    """Shred a constructed fragment (an orphan subtree) on demand.
+
+    Document roots go through the classical :func:`shred`; orphan
+    subtrees are numbered by the shared
+    :func:`~repro.xmldb.dom.renumber_fragment` — idempotent with the
+    numbering the evaluator's fragment constructor already assigned —
+    and the node list in pre order backs
+    :meth:`ShreddedDocument.node_by_pre`.
+    """
+    if isinstance(root, Document):
+        return shred(root)
+    return ShreddedDocument(None, nodes=renumber_fragment(root),
+                            root=root)

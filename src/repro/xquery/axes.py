@@ -83,17 +83,28 @@ def axis_following(node: Node) -> Iterator[Node]:
         anchor = anchor.parent
 
 
+def _reverse_subtree(node: Node) -> Iterator[Node]:
+    """Subtree of *node* in reverse document order (pre descending)."""
+    for child in reversed(node.children):
+        yield from _reverse_subtree(child)
+    yield node
+
+
 def axis_preceding(node: Node) -> Iterator[Node]:
-    ancestors = set(id(a) for a in node.ancestors())
-    collected: list[Node] = []
-    anchor = node
+    """Preceding axis, streamed per anchor in reverse document order.
+
+    Walking the anchor chain upward and emitting each preceding
+    sibling's subtree back-to-front yields strictly descending pre
+    ranks — sibling subtrees sit between the anchor and its parent, and
+    every higher anchor's siblings lie wholly before them — so no
+    global sort is needed; ancestors are never inside a preceding
+    sibling's subtree, so no ancestor filter is needed either.
+    """
+    anchor: Node | None = node
     while anchor is not None:
         for sibling in axis_preceding_sibling(anchor):
-            collected.extend(sibling.descendants_or_self())
+            yield from _reverse_subtree(sibling)
         anchor = anchor.parent
-    collected = [n for n in collected if id(n) not in ancestors]
-    collected.sort(key=Node.sort_key, reverse=True)
-    yield from collected
 
 
 def axis_attribute(node: Node) -> Iterator[Node]:
@@ -134,6 +145,8 @@ STAIRCASE_AXES: dict[str, tuple[str, bool]] = {
     "child": ("child", False),
     "following": ("following", False),
     "preceding": ("preceding", False),
+    "following-sibling": ("following-sibling", False),
+    "preceding-sibling": ("preceding-sibling", False),
 }
 
 

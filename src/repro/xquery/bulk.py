@@ -38,7 +38,6 @@ from repro.relational.sequence import (
 from repro.xmldb.dom import (
     Attr,
     Comment,
-    Document,
     Element,
     Node,
     ProcessingInstruction,
@@ -530,38 +529,52 @@ def _staircase_candidates(shredded, test: ast.NodeTest):
     return _UNSUPPORTED_TEST
 
 
+def _tie_prone(env: BulkEnv, context: IterSeq,
+               transient: set[int]) -> bool:
+    """True when some iteration's context touches two or more transient
+    fragments — only then can document_order keys tie."""
+    for it in env.loop:
+        seen: set[int] = set()
+        for node in context.items_for(it):
+            key = id(env.ctx.shredded_for(node.root))
+            if key in transient:
+                seen.add(key)
+                if len(seen) > 1:
+                    return True
+    return False
+
+
 def _staircase_axis_step(step: ast.AxisStep, env: BulkEnv,
                          context: IterSeq, axis: str,
                          or_self: bool) -> IterSeq | None:
-    """Loop-lifted Staircase Join fast path for the tree axes.
+    """Loop-lifted Staircase Join path for the tree axes.
 
-    Applies when every context node belongs to a single stored document
-    and the test is a name or kind test; the kernel (reference dict path
-    vs batched columnar) is resolved per call through the unified
-    registry from ``ctx.staircase_kernel``.  A columnar result feeds the
-    lazy node view directly — no ``dict[int, list]`` round-trip.
-    Returns None to fall back to the generic DOM walk.
+    Applies whenever the test is a name or kind test: context nodes are
+    grouped per fragment — stored documents use the store's shred,
+    constructed fragments shred on demand through the context's
+    transient cache — and each group runs one batched axis join; the
+    kernel (reference dict path vs batched columnar) is resolved per
+    call through the unified registry from ``ctx.staircase_kernel``.
+    The common single-fragment case feeds the columnar result into the
+    lazy node view directly — no ``dict[int, list]`` round-trip; mixed
+    stored + constructed contexts merge per iteration in document
+    order, exactly like the DOM walk would (iterations touching two or
+    more transient fragments collect per context row so cross-tree
+    order ties break identically).  Returns None only for tests the
+    shredded encoding has no candidate pool for.
     """
     from repro.staircase.kernels_vec import staircase_join
 
-    stored = None
-    rows: list[tuple[int, int]] = []
+    groups: dict[int, list[tuple[int, int]]] = {}
+    shreds: dict[int, object] = {}
     attr_self: dict[int, list[Node]] = {}
     for it in env.loop:
         for node in context.items_for(it):
             if not isinstance(node, Node):
                 return None
-            doc = node.document
-            if not isinstance(doc, Document):
-                return None
-            found = env.ctx.store.by_document(doc)
-            if found is None:
-                return None
-            if stored is None:
-                stored = found
-            elif stored is not found:
-                return None
-            rows.append((it, node.pre))
+            shredded = env.ctx.shredded_for(node.root)
+            key = id(shredded)
+            shreds[key] = shredded
             if or_self and isinstance(node, Attr) \
                     and matches_test(node, step.test, step.axis):
                 # Or-self inclusion is pool membership inside the
@@ -569,31 +582,81 @@ def _staircase_axis_step(step: ast.AxisStep, env: BulkEnv,
                 # tree-axis pool, so their self-match rides along
                 # DOM-side.
                 attr_self.setdefault(it, []).append(node)
-    if stored is None:
+            # Read the pre *after* shredding: a constructed fragment's
+            # numbering is assigned (idempotently) by the shred.
+            groups.setdefault(key, []).append((it, node.pre))
+    if not shreds:
         return IterSeq({})
-    shredded = stored.shredded
-    candidates = _staircase_candidates(shredded, step.test)
-    if candidates is _UNSUPPORTED_TEST:
-        return None
-    result = staircase_join(
-        axis, shredded, rows, candidates, or_self=or_self,
-        kernel=env.ctx.staircase_kernel,
-        workers=env.ctx.workers,
-        shard_min_rows=env.ctx.shard_min_rows)
-    doc = stored.document
-    if isinstance(result, ColumnarResult) and not attr_self:
-        def decode(iteration: int, _result=result, _doc=doc) -> list:
-            return [_doc.node_by_pre(pre)
-                    for pre in _result.values_for(iteration).tolist()]
+    cand_by_key: dict[int, object] = {}
+    for key, shredded in shreds.items():
+        candidates = _staircase_candidates(shredded, step.test)
+        if candidates is _UNSUPPORTED_TEST:
+            return None
+        cand_by_key[key] = candidates
 
-        return IterSeq(LazyIterData(result.iterations(), decode))
-    out: dict[int, list] = {}
-    for it in result:       # Mapping protocol covers both result shapes
-        nodes = [doc.node_by_pre(pre) for pre in result[it]]
-        if nodes:
-            out[it] = nodes
+    def join(shredded, rows, candidates):
+        return staircase_join(
+            axis, shredded, rows, candidates, or_self=or_self,
+            kernel=env.ctx.staircase_kernel,
+            workers=env.ctx.workers,
+            shard_min_rows=env.ctx.shard_min_rows)
+
+    # document_order sorts by (doc id, pre), stable on ties — and two
+    # *transient* fragments (orphan subtrees or unstored documents) can
+    # tie, because neither owns a store-unique doc id.  The DOM walk
+    # breaks such ties by per-iteration collection order, so any
+    # iteration touching two or more transient fragments collects per
+    # context row in context order (one single-row kernel join each) —
+    # tied nodes always come from different rows, never the same one,
+    # so row-ordered collection reproduces the oracle exactly.  The
+    # check runs only in the already-rare multi-fragment case.
+    if len(shreds) > 1:
+        transient = {
+            key for key, sh in shreds.items()
+            if sh.document is None
+            or env.ctx.store.by_document(sh.document) is None}
+        if len(transient) > 1 and _tie_prone(env, context, transient):
+            out: dict[int, list] = {}
+            for it in env.loop:
+                collected: list[Node] = []
+                for node in context.items_for(it):
+                    shredded = env.ctx.shredded_for(node.root)
+                    result = join(shredded, [(0, node.pre)],
+                                  cand_by_key[id(shredded)])
+                    if 0 in result:
+                        collected.extend(shredded.node_by_pre(p)
+                                         for p in result[0])
+                    if or_self and isinstance(node, Attr) \
+                            and matches_test(node, step.test, step.axis):
+                        collected.append(node)
+                ordered = document_order(collected)
+                if ordered:
+                    out[it] = ordered
+            return IterSeq(out)
+
+    results = [(shreds[key], join(shreds[key], rows, cand_by_key[key]))
+               for key, rows in groups.items()]
+    if len(results) == 1 and not attr_self:
+        shredded, result = results[0]
+        if isinstance(result, ColumnarResult):
+            def decode(iteration: int, _result=result,
+                       _sh=shredded) -> list:
+                return [_sh.node_by_pre(pre)
+                        for pre in _result.values_for(iteration).tolist()]
+
+            return IterSeq(LazyIterData(result.iterations(), decode))
+    out = {}
+    for shredded, result in results:
+        for it in result:   # Mapping protocol covers both result shapes
+            nodes = [shredded.node_by_pre(pre) for pre in result[it]]
+            if nodes:
+                out.setdefault(it, []).extend(nodes)
     for it, extra in attr_self.items():
-        out[it] = document_order([*out.get(it, []), *extra])
+        out.setdefault(it, []).extend(extra)
+    if len(results) > 1 or attr_self:
+        # No iteration mixes two transient fragments here, so keys are
+        # tie-free and the sort alone fixes the order.
+        out = {it: document_order(nodes) for it, nodes in out.items()}
     return IterSeq(out)
 
 

@@ -117,6 +117,10 @@ class DynamicContext:
         # region indexes for fragments that are not stored documents
         # (constructed nodes), keyed by id(root node)
         self._transient_indexes: dict[int, RegionIndex] = {}
+        # shredded columns for constructed fragments, same keying — the
+        # shred-on-demand cache that keeps staircase axis steps over
+        # constructed content on the kernel path
+        self._transient_shreds: dict = {}
         #: observability hook: number of standoff join invocations
         #: (a shared mutable cell so child scopes count into the root)
         self._join_counter = [0]
@@ -139,6 +143,7 @@ class DynamicContext:
         ctx.focus = self.focus
         ctx.globals = self.globals
         ctx._transient_indexes = self._transient_indexes
+        ctx._transient_shreds = self._transient_shreds
         ctx._join_counter = self._join_counter
         return ctx
 
@@ -200,6 +205,29 @@ class DynamicContext:
             self._transient_indexes[key] = index
         return index
 
+    def shredded_for(self, root: Node):
+        """The shredded columns of the fragment rooted at *root*.
+
+        Stored documents use the store's cached shred; constructed
+        fragments shred on demand (cached per fragment root, like the
+        transient region indexes) — the substrate that lets the bulk
+        evaluator run staircase axis steps over constructed content
+        through the batched kernels instead of the DOM walk.
+        """
+        from repro.xmldb.dom import Document
+        from repro.xmldb.shred import shred_fragment
+
+        if isinstance(root, Document):
+            stored = self.store.by_document(root)
+            if stored is not None:
+                return stored.shredded
+        key = id(root)
+        shredded = self._transient_shreds.get(key)
+        if shredded is None:
+            shredded = shred_fragment(root)
+            self._transient_shreds[key] = shredded
+        return shredded
+
 
 class _TransientFragment:
     """Adapter giving a bare subtree the Document-ish API that
@@ -209,33 +237,14 @@ class _TransientFragment:
         self._root = root
 
     def renumber(self) -> None:
-        from repro.xmldb.dom import Document
+        from repro.xmldb.dom import Document, renumber_fragment
 
         if isinstance(self._root, Document):
             self._root.renumber()
             return
-        # Orphan subtree: number it locally so pre ranks are stable.
-        counter = 0
-
-        def walk(node: Node, level: int) -> int:
-            nonlocal counter
-            node.pre = counter
-            node.level = level
-            counter += 1
-            count = 0
-            attrs = getattr(node, "attributes", None)
-            if attrs:
-                for attr in attrs:
-                    attr.pre = counter
-                    attr.level = level + 1
-                    counter += 1
-                    count += 1
-            for child in node.children:
-                count += 1 + walk(child, level + 1)
-            node.size = count
-            return count
-
-        walk(self._root, 0)
+        # Orphan subtree: the shared local numbering, so pre ranks are
+        # stable and agree with constructor output and shred-on-demand.
+        renumber_fragment(self._root)
 
     def descendants(self):
         return self._root.descendants_or_self()

@@ -23,6 +23,7 @@ from repro.xmldb.dom import (
     Node,
     Text,
     document_order,
+    renumber_fragment,
 )
 from repro.xquery import ast
 from repro.xquery.axes import AXIS_FUNCTIONS, REVERSE_AXES, matches_test
@@ -487,27 +488,9 @@ def _copy_node(node: Node) -> Node:
 
 
 def _renumber_fragment(root: Element) -> None:
-    """Assign local pre ranks to a constructed fragment."""
-    counter = 0
-
-    def walk(node: Node, level: int) -> int:
-        nonlocal counter
-        node.pre = counter
-        node.level = level
-        counter += 1
-        count = 0
-        if isinstance(node, Element):
-            for attr in node.attributes:
-                attr.pre = counter
-                attr.level = level + 1
-                counter += 1
-                count += 1
-        for child in node.children:
-            count += 1 + walk(child, level + 1)
-        node.size = count
-        return count
-
-    walk(root, 0)
+    """Assign local pre ranks to a constructed fragment (the shared
+    orphan-subtree numbering, also used by shred-on-demand)."""
+    renumber_fragment(root)
 
 
 _DISPATCH = {

@@ -168,6 +168,28 @@ def test_forward_axes_in_document_order(doc):
 
 @given(trees)
 @settings(max_examples=40, deadline=None)
+def test_preceding_streams_identical_to_collect_and_sort(doc):
+    """The streamed ``axis_preceding`` (per-anchor reverse-document-
+    order emission, no global sort, no ancestor id-set) must reproduce
+    the legacy collect-filter-sort implementation node for node."""
+    from repro.xmldb.dom import Node
+
+    for node in list(doc.descendants_or_self())[:8]:
+        ancestors = set(id(a) for a in node.ancestors())
+        collected = []
+        anchor = node
+        while anchor is not None:
+            for sib in AXIS_FUNCTIONS["preceding-sibling"](anchor):
+                collected.extend(sib.descendants_or_self())
+            anchor = anchor.parent
+        collected = [n for n in collected if id(n) not in ancestors]
+        collected.sort(key=Node.sort_key, reverse=True)
+        assert [id(n) for n in axis_preceding(node)] == \
+            [id(n) for n in collected]
+
+
+@given(trees)
+@settings(max_examples=40, deadline=None)
 def test_reverse_axes_reversed(doc):
     for axis in sorted(REVERSE_AXES):
         for node in list(doc.descendants())[:6]:

@@ -7,6 +7,12 @@ iterative evaluator — for every kernel choice crossed with
 ``workers`` ∈ {serial, 4} (``shard_min_rows=1`` forces the fan-out
 path even on these small documents).
 
+Beyond the stored-document paths, dedicated fuzz targets pin the
+corners that previously fell off the kernel path: the sibling axes
+(including attribute anchors — which have no siblings — and merged
+text-node siblings) and *constructed-fragment* contexts, which now
+shred on demand instead of dropping to the DOM walk.
+
 Seeds are fixed: every failure is reproducible from the printed
 (seed, query) pair.  The whole module is budgeted at roughly two
 seconds so it stays in the tier-1 suite.
@@ -153,6 +159,130 @@ def test_fuzz_standoff_joins(seed=7100):
                     assert got == oracle, (seed, op, kernel, workers)
 
 
+SIBLING_AXES = ("following-sibling", "preceding-sibling")
+
+#: Constructed-fragment query templates: a fragment built per iteration
+#: from stored content (copied children, attributes, merged text), then
+#: axis-stepped — exercising the shred-on-demand path.  ``{axis}`` and
+#: ``{test}`` are filled per trial.
+CONSTRUCTED_TEMPLATES = (
+    'for $x in doc("f.xml")//{tag} '
+    'let $f := <w p="1" q="2">{{$x/child::node()}}</w> '
+    'return $f/{axis}::{test}',
+    'for $x in doc("f.xml")//{tag} '
+    'let $f := <w>head{{$x/child::node()}}tail<z/>{{$x/@i}}</w> '
+    'return count($f/child::node()/{axis}::{test})',
+    'for $x in doc("f.xml")//{tag} '
+    'let $f := <w><u>{{$x/text()}}</u>mid{{$x/{tag}}}</w> '
+    'return $f/descendant-or-self::node()/{axis}::{test}',
+    '(doc("f.xml")/r, <w><a i="5"/>t<b/></w>)/{axis}::{test}',
+)
+
+
+def test_fuzz_sibling_axes(seed=8200):
+    """Sibling-axis steps under every kernel and worker setting against
+    the DOM-walk oracle — anchored on elements, attributes (which have
+    no siblings) and text nodes."""
+    rng = random.Random(seed)
+    anchors = (
+        "child::*", "descendant::node()", "child::text()",
+        "descendant-or-self::*/@i", "child::node()",
+    )
+    for _trial in range(4):
+        db = Database()
+        db.add_document("f.xml", random_xml(rng))
+        for _q in range(4):
+            axis = rng.choice(SIBLING_AXES)
+            test = rng.choice((*TAGS, "*", "node()", "text()"))
+            query = (f'doc("f.xml")/r/{rng.choice(anchors)}'
+                     f'/{axis}::{test}')
+            oracle = db.query(query, strategy="basic").serialize()
+            for kernel in KERNELS_UNDER_TEST:
+                for workers in WORKERS_UNDER_TEST:
+                    got = db.query(query, strategy="ll", kernel=kernel,
+                                   staircase_kernel=kernel,
+                                   workers=workers,
+                                   shard_min_rows=1).serialize()
+                    assert got == oracle, (seed, query, kernel, workers)
+
+
+def test_fuzz_constructed_fragment_contexts(seed=9300):
+    """Axis steps over constructed fragments (shredded on demand) must
+    match the DOM-walk oracle for every kernel and worker setting —
+    including merged text-node siblings and attribute content."""
+    rng = random.Random(seed)
+    for _trial in range(3):
+        db = Database()
+        db.add_document("f.xml", random_xml(rng))
+        for template in CONSTRUCTED_TEMPLATES:
+            axis = rng.choice((*SIBLING_AXES, "descendant", "child",
+                               "ancestor", "following", "preceding"))
+            test = rng.choice((*TAGS, "*", "node()", "text()"))
+            query = template.format(tag=rng.choice(TAGS), axis=axis,
+                                    test=test)
+            oracle = db.query(query, strategy="basic").serialize()
+            for kernel in KERNELS_UNDER_TEST:
+                for workers in WORKERS_UNDER_TEST:
+                    got = db.query(query, strategy="ll", kernel=kernel,
+                                   staircase_kernel=kernel,
+                                   workers=workers,
+                                   shard_min_rows=1).serialize()
+                    assert got == oracle, (seed, query, kernel, workers)
+
+
+def test_cross_fragment_tie_break_matches_oracle():
+    """Two transient fragments share doc id -1, so their nodes can tie
+    on (doc id, pre); the DOM walk breaks ties by per-iteration context
+    order.  The kernel path must reproduce that exactly — including
+    when the fragments' first appearance (in an earlier iteration)
+    differs from a later iteration's context order."""
+    db = Database()
+    db.add_document("d.xml", "<r><a/></r>")
+    queries = [
+        'let $a := <u><x/></u> let $b := <v><y/></v> '
+        'for $i in (1, 2) return '
+        '(if ($i = 1) then $b else ($a, $b))/child::*',
+        'let $a := <u><x/><w/></u> let $b := <v><y/></v> '
+        'return ($a, $b, $a)/child::*',
+        'let $a := <u><x/></u> let $b := <v><y/></v> '
+        'return ($b/child::*, $a/child::*)'
+        '/following-sibling::node()',
+        'let $a := <u><x/></u> '
+        'return (doc("d.xml")/r, $a)/child::*',
+    ]
+    for query in queries:
+        oracle = db.query(query, strategy="basic").serialize()
+        for kernel in KERNELS_UNDER_TEST:
+            for workers in WORKERS_UNDER_TEST:
+                got = db.query(query, strategy="ll",
+                               staircase_kernel=kernel, workers=workers,
+                               shard_min_rows=1).serialize()
+                assert got == oracle, (query, kernel, workers)
+
+
+def test_merged_text_node_siblings():
+    """Constructed content merges adjacent text into one node; sibling
+    enumeration over the merged node must agree with the oracle (the
+    stale-node corner the DOM walk guards with an identity scan)."""
+    db = Database()
+    db.add_document("f.xml", "<r><a>x</a><a>y</a></r>")
+    queries = [
+        'let $f := <w>{doc("f.xml")//a/text()}</w> '
+        'return $f/child::text()/following-sibling::node()',
+        'let $f := <w>a{"b"}c<m/>d{"e"}</w> '
+        'return $f/child::m/preceding-sibling::text()',
+        'let $f := <w>a{"b"}c<m/>d{"e"}</w> '
+        'return count($f/child::text()/following-sibling::m)',
+    ]
+    for query in queries:
+        oracle = db.query(query, strategy="basic").serialize()
+        for kernel in KERNELS_UNDER_TEST:
+            got = db.query(query, strategy="ll", kernel=kernel,
+                           staircase_kernel=kernel, workers=4,
+                           shard_min_rows=1).serialize()
+            assert got == oracle, (query, kernel)
+
+
 def test_serial_byte_identical_to_unsharded_columnar():
     """workers='serial' must leave the columnar pipeline untouched:
     the exact arrays, not just equal decodes."""
@@ -167,7 +297,7 @@ def test_serial_byte_identical_to_unsharded_columnar():
     context = [(it, pre) for it, pre in
                enumerate(range(0, len(sh), 3))]
     for axis in ("descendant", "ancestor", "child", "following",
-                 "preceding"):
+                 "preceding", "following-sibling", "preceding-sibling"):
         direct = vec_staircase_join(axis, sh, context)
         via_serial = staircase_join(axis, sh, context,
                                     kernel="vectorized",

@@ -286,3 +286,36 @@ def test_vectorized_matches_ll_on_random_documents():
                                 kernel="vectorized").serialize() == \
                     db.query(query, strategy=strategy,
                              kernel="ll").serialize()
+
+
+def test_probe_pair_estimate_saturates_instead_of_wrapping():
+    """The auto-kernel density guard compares the probe-pair estimate
+    against AUTO_KERNEL_MAX_PAIRS; a wrapped int64 sum would go
+    negative and silently pass the guard.  The window sum must saturate
+    at the cap instead."""
+    from repro.config import AUTO_KERNEL_MAX_PAIRS, KERNELS
+    from repro.core.kernels_vec import (
+        _INT64_BUDGET,
+        estimate_probe_pairs,
+        saturating_pair_count,
+    )
+
+    # At the boundary: counts whose true total (2**64) wraps an int64
+    # sum to exactly 0 — the worst case for the guard.
+    counts = np.full(4096, 2 ** 52, dtype=np.int64)
+    assert int(counts.sum()) == 0, "fixture must actually wrap"
+    assert saturating_pair_count(counts) == _INT64_BUDGET
+    assert saturating_pair_count(counts) > AUTO_KERNEL_MAX_PAIRS
+    assert KERNELS.select("standoff", "auto", context_rows=10_000,
+                          candidate_rows=10_000,
+                          probe_pairs=saturating_pair_count(counts)) \
+        == "ll"
+    # Just below the cap the sum stays exact.
+    small = np.asarray([3, 0, 41], dtype=np.int64)
+    assert saturating_pair_count(small) == 44
+    assert saturating_pair_count(np.empty(0, np.int64)) == 0
+    # And the estimate itself remains exact on a real workload.
+    context, candidates, _ctx_areas, _cand_areas = make_workload(
+        11, n_iters=20, per_iter=3, n_cand=200, span=5_000, max_len=400)
+    estimate = estimate_probe_pairs(context, candidates)
+    assert 0 < estimate < _INT64_BUDGET

@@ -434,20 +434,39 @@ class TestShardedStandoff:
 
 
 # ----------------------------------------------------------------------
-# regression: the two known fallback corners under auto + sharding
+# regression: the former fallback corners now run on the kernel path
 # ----------------------------------------------------------------------
 
 SIBLING_XML = ('<r><a i="1"/><b/><a i="2"><c/><d/><c/></a>'
                '<b j="9"/><a i="3"/>text<b/></r>')
 
 
-class TestFallbackCorners:
+class _NoDomWalk(dict):
+    """An AXIS_FUNCTIONS stand-in that fails the test on first access —
+    proof that a query never reached the generic DOM-walk step."""
+
+    def __getitem__(self, axis):
+        raise AssertionError(
+            f"DOM-walk fallback reached for axis {axis!r}")
+
+
+@pytest.fixture
+def forbid_dom_walk(monkeypatch):
+    from repro.xquery import bulk
+
+    monkeypatch.setattr(bulk, "AXIS_FUNCTIONS", _NoDomWalk())
+
+
+class TestFormerFallbackCorners:
+    """PR 3/4 left two gaps that dropped to the per-node DOM walk:
+    sibling axes and constructed fragments.  Both now run through the
+    staircase kernel path — these tests additionally *forbid* the DOM
+    walk while asserting oracle agreement under auto + sharding."""
+
     @pytest.mark.parametrize("axis", ["following-sibling",
                                       "preceding-sibling"])
-    def test_sibling_axes_dom_fallback_sharded(self, axis):
-        """``following-sibling``/``preceding-sibling`` have no shredded
-        kernel; the DOM walk must serve them — correctly, without
-        crashing — under kernel='auto' + workers."""
+    def test_sibling_axes_on_kernel_path_sharded(self, axis,
+                                                 forbid_dom_walk):
         db = Database()
         db.add_document("d.xml", SIBLING_XML)
         for query in (f'doc("d.xml")//a/{axis}::b',
@@ -455,15 +474,17 @@ class TestFallbackCorners:
                       f'for $a in doc("d.xml")//a '
                       f'return count($a/{axis}::*)'):
             reference = db.query(query, strategy="basic").serialize()
-            got = db.query(query, strategy="ll", kernel="auto",
-                           staircase_kernel="auto", workers=4,
-                           shard_min_rows=1).serialize()
-            assert got == reference, (axis, query)
+            for kernel in ("ll", "vectorized", "auto"):
+                got = db.query(query, strategy="ll", kernel=kernel,
+                               staircase_kernel=kernel, workers=4,
+                               shard_min_rows=1).serialize()
+                assert got == reference, (axis, query, kernel)
 
-    def test_constructed_fragment_staircase_fallback_sharded(self):
-        """The staircase fast path covers stored documents only;
-        constructed fragments fall back to the DOM walk — correct and
-        crash-free under kernel='auto' + workers."""
+    def test_constructed_fragments_on_kernel_path_sharded(
+            self, forbid_dom_walk):
+        """Constructed fragments shred on demand; the staircase path
+        must serve them without the DOM walk — correct and crash-free
+        under kernel='auto' + workers."""
         db = Database()
         db.add_document("d.xml", SIBLING_XML)
         queries = [
@@ -472,6 +493,8 @@ class TestFallbackCorners:
             'let $f := <x><a><b/></a></x> '
             'return for $b in $f//b return count($b/ancestor::*)',
             'let $f := <x><a/><b/><c/></x> return $f/child::node()',
+            'let $f := <x><a/>mid<b/><c/></x> '
+            'return $f/a/following-sibling::node()',
         ]
         for query in queries:
             reference = db.query(query, strategy="basic").serialize()
@@ -480,15 +503,19 @@ class TestFallbackCorners:
                            shard_min_rows=1).serialize()
             assert got == reference, query
 
-    def test_mixed_stored_and_constructed_context(self):
+    def test_mixed_stored_and_constructed_context(self, forbid_dom_walk):
         """A step whose context mixes a stored document with a
-        constructed fragment cannot use the staircase fast path for
-        either — the fallback must handle the union."""
+        constructed fragment runs one kernel join per fragment and
+        merges per iteration in document order."""
         db = Database()
         db.add_document("d.xml", SIBLING_XML)
-        query = ('for $x in (doc("d.xml")/r, <x><a><b/></a></x>) '
-                 'return count($x/descendant::*)')
-        reference = db.query(query, strategy="basic").serialize()
-        got = db.query(query, strategy="ll", staircase_kernel="auto",
-                       workers=4, shard_min_rows=1).serialize()
-        assert got == reference
+        queries = [
+            'for $x in (doc("d.xml")/r, <x><a><b/></a></x>) '
+            'return count($x/descendant::*)',
+            '(doc("d.xml")/r, <x><y/><z/></x>)/child::*',
+        ]
+        for query in queries:
+            reference = db.query(query, strategy="basic").serialize()
+            got = db.query(query, strategy="ll", staircase_kernel="auto",
+                           workers=4, shard_min_rows=1).serialize()
+            assert got == reference, query

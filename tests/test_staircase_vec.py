@@ -39,23 +39,28 @@ from repro.staircase import (
     child_join,
     descendant_join,
     following_join,
+    following_sibling_join,
     iterated_descendant_join,
     ll_axis_join,
     ll_descendant_join,
     preceding_join,
+    preceding_sibling_join,
     staircase_join,
     vec_staircase_join,
 )
 from repro.xmldb import parse_document, shred
 from repro.xquery import Database
 
-AXES = ("descendant", "ancestor", "child", "following", "preceding")
+AXES = ("descendant", "ancestor", "child", "following", "preceding",
+        "following-sibling", "preceding-sibling")
 
 PER_SET_JOINS = {
     "ancestor": ancestor_join,
     "child": child_join,
     "following": following_join,
     "preceding": preceding_join,
+    "following-sibling": following_sibling_join,
+    "preceding-sibling": preceding_sibling_join,
 }
 
 
@@ -241,9 +246,56 @@ class TestEdgeCases:
             assert sorted(union) == pool.tolist(), pre
             assert len(union) == len(set(union)), pre
 
+    def test_sibling_axes_of_attributes_and_roots_are_empty(self):
+        """Attribute nodes are not children of their owner, and the
+        document node has no parent — neither has siblings (the DOM
+        walk yields nothing for them)."""
+        doc = parse_document('<r><a i="1" j="2"/><b/></r>')
+        sh = shred(doc)
+        attr_pres = sh.pre[sh.kind == 5].tolist()
+        assert attr_pres, "fixture must carry attributes"
+        context = [(0, 0)] + [(0, pre) for pre in attr_pres]
+        for axis in ("following-sibling", "preceding-sibling"):
+            assert vec_staircase_join(axis, sh, context).to_dict() == {}
+            assert ll_axis_join(sh, axis, context) == {}
+
+    def test_sibling_pool_excludes_attribute_rows(self):
+        """Attribute rows share the parent column with genuine children
+        but are never siblings — even when the pool contains them."""
+        doc = parse_document('<r><a/><b i="1" j="2"><c/></b><d/></r>')
+        sh = shred(doc)
+        root = doc.root_element
+        a = root.find("a")
+        got = vec_staircase_join("following-sibling", sh,
+                                 [(0, a.pre)]).to_dict()
+        expected = [root.find("b").pre, root.find("d").pre]
+        assert got == {0: expected}
+        assert ll_axis_join(sh, "following-sibling",
+                            [(0, a.pre)]) == {0: expected}
+
+    def test_duplicate_attribute_anchors_deduped(self):
+        """Two attributes of one element anchor at the same owner pre;
+        the following/preceding kernels must not emit duplicate ranks
+        (the anchor boundary dedupes)."""
+        doc = parse_document('<r><x i="1" j="2"/><y/><z/></r>')
+        sh = shred(doc)
+        x = doc.root_element.find("x")
+        attrs = [attr.pre for attr in x.attributes]
+        assert len(attrs) == 2
+        context = [(3, pre) for pre in attrs]
+        for axis in ("following", "preceding"):
+            columnar = vec_staircase_join(axis, sh, context)
+            assert_csr_invariants(columnar)   # dupes would violate CSR
+            assert columnar.to_dict() == ll_axis_join(sh, axis, context)
+        following = vec_staircase_join("following", sh,
+                                       context).to_dict()
+        y, z = doc.root_element.find("y"), doc.root_element.find("z")
+        assert following == {3: [y.pre, z.pre]}
+
     def test_or_self_rejected_on_unsupported_axes(self):
         sh = shred(parse_document("<r><a/></r>"))
-        for axis in ("child", "following", "preceding"):
+        for axis in ("child", "following", "preceding",
+                     "following-sibling", "preceding-sibling"):
             with pytest.raises(ValueError, match="or-self"):
                 vec_staircase_join(axis, sh, [(0, 0)], or_self=True)
             with pytest.raises(ValueError, match="or-self"):
@@ -316,6 +368,13 @@ ENGINE_QUERIES = [
     'doc("d.xml")//x/@b/descendant-or-self::node()',
     'doc("d.xml")//x/@b/following::*',
     'doc("d.xml")//x/@b/ancestor::*',
+    'doc("d.xml")//x/following-sibling::node()',
+    'doc("d.xml")//y/following-sibling::*',
+    'doc("d.xml")//x/preceding-sibling::node()',
+    'doc("d.xml")//z/preceding-sibling::text()',
+    'for $x in doc("d.xml")//x return count($x/following-sibling::x)',
+    'doc("d.xml")//x/@b/following-sibling::node()',
+    'doc("d.xml")//x/@b/preceding-sibling::node()',
 ]
 
 
@@ -360,7 +419,8 @@ def test_bulk_staircase_random_documents():
         db = Database()
         db.add_document("d.xml", xml)
         for axis in ("descendant", "descendant-or-self", "ancestor",
-                     "child", "following", "preceding"):
+                     "child", "following", "preceding",
+                     "following-sibling", "preceding-sibling"):
             query = f'doc("d.xml")//n/{axis}::node()'
             reference = db.query(query, strategy="basic").serialize()
             for kernel in (KERNEL_LL, KERNEL_VECTORIZED):
