@@ -1,0 +1,91 @@
+"""Cross-query caches: compiled plans and fragment shreds, warm vs cold.
+
+The per-query constant factor the PR 7 caches eliminate:
+
+* **Plan cache** — a parse-heavy batch (prolog function declarations,
+  nested FLWOR, chained predicates) over a tiny document, so
+  compilation dominates evaluation.  Warm (LRU enabled) vs cold
+  (``plan_cache_size=0``, every query re-parses).
+* **Shred cache** — ``shred_fragment`` on content-equal constructed
+  fragments: a content-hash hit pays renumber + fingerprint + a
+  column rebind, a cold call pays renumber + the full column build.
+
+The trajectory harness (``run_all.py``, scenario family
+``plancache.*``) carries these as committed trajectory points; this
+file keeps the pytest-benchmark view.
+"""
+
+import pytest
+
+from repro.xmldb.shred import SHRED_CACHE, shred_fragment
+from repro.xquery import Database
+
+XML = "<r><a i='1'><b>t</b></a><a i='2'><c/></a></r>"
+PROLOG = ("declare function local:pick($s, $k) "
+          "{ for $x in $s where $x/@i = $k return $x };\n")
+QUERIES = tuple(
+    PROLOG
+    + f'for $a in local:pick(doc("t.xml")/r/child::a, "{k % 2 + 1}") '
+      f"return count($a/descendant-or-self::node()"
+      f"[position() mod {d} = 1])"
+    for k in range(8) for d in (2, 3)
+) + tuple(
+    f'doc("t.xml")/r/child::a[@i = "{k % 2 + 1}"]'
+    f"/child::*[1]/ancestor-or-self::node()[last()]"
+    for k in range(8)
+)
+
+
+def _database(plan_cache_size):
+    db = Database(plan_cache_size=plan_cache_size)
+    db.add_document("t.xml", XML)
+    return db
+
+
+def _batch(db):
+    for query in QUERIES:
+        db.query(query, strategy="basic")
+
+
+@pytest.mark.parametrize("size", [256, 0], ids=["warm", "cold"])
+def test_plan_cache_batch(benchmark, size):
+    db = _database(size)
+    _batch(db)    # prime: the warm arm's one-time parse round
+    benchmark(lambda: _batch(db))
+    stats = db.plan_cache.stats()
+    if size:
+        assert stats["hits"] > 0
+    else:
+        assert stats["entries"] == 0
+
+
+@pytest.fixture(scope="module")
+def fragment_roots():
+    """Distinct content-equal constructed roots: every cache hit goes
+    through the fingerprint + rebind path, never the same-root
+    shortcut."""
+    db = Database()
+    ctor = "<w>" + '<a i="1"><b>text</b></a>' * 2_000 + "</w>"
+    return [list(db.query(ctor))[0] for _ in range(4)]
+
+
+@pytest.fixture
+def shred_cache_budget():
+    saved = (SHRED_CACHE.max_entries, SHRED_CACHE.max_bytes)
+    SHRED_CACHE.clear()
+    yield SHRED_CACHE
+    SHRED_CACHE.configure(max_entries=saved[0], max_bytes=saved[1])
+    SHRED_CACHE.clear()
+
+
+@pytest.mark.parametrize("entries", [512, 0], ids=["hit", "rebuild"])
+def test_shred_fragment(benchmark, fragment_roots, shred_cache_budget,
+                        entries):
+    shred_cache_budget.configure(max_entries=entries)
+    if entries:
+        shred_fragment(fragment_roots[0])    # prime the one miss
+    results = benchmark(
+        lambda: [shred_fragment(root) for root in fragment_roots])
+    assert len(results) == len(fragment_roots)
+    for root, shredded in zip(fragment_roots, results):
+        assert shredded.node_by_pre(0) is root

@@ -14,15 +14,19 @@ bench_*.py it mirrors), ``kernel`` (``ll-list`` | ``ll-heap`` |
 ``ll-dict`` | ``vectorized`` | ``auto`` | ``null`` for non-join
 scenarios), ``n`` (workload size), ``seconds`` (median wall time;
 ``null`` + ``dnf: true`` on budget overrun) and ``repeats``.  The
-staircase-vs-standoff, staircase-axis, sibling-axis and sharding
-scenarios sweep scales; the summary block records the vectorized-kernel and fan-out
+staircase-vs-standoff, staircase-axis, sibling-axis, sharding and
+positional scenarios sweep scales; the summary block records the
+vectorized-kernel, fan-out, positional-predicate and plan-cache
 speedups at the largest size — the perf-trajectory headlines.  The
 ``sharding.*`` family measures the worker-pool fan-out
 (:mod:`repro.exec.sharding`) against the deterministic serial
 reference, per join family (``.serial`` vs ``.workers4`` scenario
-variants; each record carries the ``workers`` setting).
+variants; each record carries the ``workers`` setting).  The
+``positional.*`` family pits the vectorized positional-predicate
+filter against the per-node DOM walk; ``plancache.*`` measures the
+cross-query compiled-plan and fragment-shred caches warm vs cold.
 
-Output defaults to ``BENCH_PR5.json`` (``BENCH_SMOKE.json`` with
+Output defaults to ``BENCH_PR7.json`` (``BENCH_SMOKE.json`` with
 ``--smoke``) at the repository root.
 
 **Trajectory comparison**: a full run whose label is ``PR<k>`` is
@@ -95,7 +99,8 @@ AUTO = "auto"
 #: out of later runs (``--require`` overrides; ``--require none``
 #: disables).
 REQUIRED_SCENARIO_PREFIXES = ("staircase.", "staircase_axes.",
-                              "sharding.", "staircase_siblings.")
+                              "sharding.", "staircase_siblings.",
+                              "positional.", "plancache.")
 
 
 class Runner:
@@ -353,10 +358,15 @@ def scenario_udf_nocand(r: Runner) -> None:
 
 
 @functools.lru_cache(maxsize=None)
+def _xmark_build(scale: float):
+    # Cached: the staircase, staircase_axes and positional scenarios
+    # share the same XMark build per scale (multi-second at scale 16).
+    return build_database(scale)
+
+
+@functools.lru_cache(maxsize=None)
 def _staircase_workload(scale: float):
-    # Cached: the staircase and staircase_axes scenarios share the same
-    # XMark build per scale (multi-second setup at scale 16).
-    db, label = build_database(scale)
+    db, label = _xmark_build(scale)
     stored = db.store.get("xmark.xml")
     shredded = stored.shredded
     index = stored.region_index()
@@ -643,6 +653,220 @@ def scenario_sharding(r: Runner) -> dict | None:
     return summary
 
 
+#: Positional-predicate cases: (name, anchor element, final step).
+#: ``child_mod``/``descendant_window`` are the forward-axis headline
+#: shapes; the other two exercise reverse-axis position flipping.
+_POSITIONAL_CASES = (
+    ("child_mod", "open_auction",
+     "child::bidder[position() mod 2 = 1]"),
+    ("descendant_window", "open_auction",
+     "descendant::*[position() < 5]"),
+    ("ancestor_first", "bidder", "ancestor::*[1]"),
+    ("preceding_sibling_last", "bidder",
+     "preceding-sibling::*[last()]"),
+)
+
+
+def scenario_positional(r: Runner) -> dict | None:
+    """Positional predicates off the CSR backbone: the per-node DOM
+    walk (axis enumeration + per-candidate predicate evaluation — the
+    pre-PR7 serving path) vs one kernel join per anchor batch plus the
+    vectorized position/length mask chain.  End-to-end query records
+    (``query_child_mod``) show the same comparison diluted by the
+    shared anchor step and result decode; the step-level records carry
+    the headline.  Returns the forward-axis speedup at the largest
+    scale."""
+    from repro.staircase.kernels_vec import staircase_join
+    from repro.xquery import bulk
+    from repro.xquery.axes import STAIRCASE_AXES
+    from repro.xquery.context import DynamicContext
+    from repro.xquery.parser import parse
+
+    file = "bench_positional.py"
+    scales = (0.25,) if r.smoke else (0.5, 4.0, 16.0)
+    query_name = "query_child_mod"
+    summary = None
+    for scale in scales:
+        names = [f"positional.scale{scale}.{name}"
+                 for name, _a, _s in _POSITIONAL_CASES]
+        names.append(f"positional.scale{scale}.{query_name}")
+        if not r.any_wanted(*names):
+            continue
+        db, label = _xmark_build(scale)
+        stored = db.store.get("xmark.xml")
+        shredded = stored.shredded
+        scope = DynamicContext(db.store)
+        anchor_pres = {
+            tag: shredded.elements_named(tag).tolist()
+            for tag in ("open_auction", "bidder")}
+        timings = {}
+        for name, anchor_tag, step_text in _POSITIONAL_CASES:
+            scenario = f"positional.scale{scale}.{name}"
+            step = parse(f'doc("x.xml")/r/{step_text}').body.steps[-1]
+            axis, or_self = STAIRCASE_AXES[step.axis]
+            maskers = bulk.compile_positional_predicates(step.predicates)
+            assert maskers is not None, step_text
+            reverse = step.axis in bulk.REVERSE_AXES
+            rows = [(i, pre)
+                    for i, pre in enumerate(anchor_pres[anchor_tag])]
+            candidates = bulk._staircase_candidates(shredded, step.test)
+            n = len(rows) + len(candidates)
+
+            def vectorized(rows=rows, candidates=candidates, axis=axis,
+                           or_self=or_self, maskers=maskers,
+                           reverse=reverse):
+                result = staircase_join(axis, shredded, rows, candidates,
+                                        or_self=or_self,
+                                        kernel="vectorized")
+                return bulk._apply_positional_chain(
+                    result.offsets, result.values, maskers, reverse)
+
+            def dom_walk(rows=rows, step=step):
+                out = {}
+                for i, pre in rows:
+                    nodes = bulk._dom_positional_anchor(
+                        shredded.node_by_pre(pre), step, scope)
+                    if nodes:
+                        out[i] = nodes
+                return out
+
+            if scale == scales[0]:
+                # Serving-path agreement guard at the cheapest scale
+                # only; the committed fuzz suite covers the rest.
+                offsets, values = vectorized()
+                bounds, vals = offsets.tolist(), values.tolist()
+                got = {i: vals[bounds[i]:bounds[i + 1]]
+                       for i in range(len(rows))
+                       if bounds[i + 1] > bounds[i]}
+                ref = {i: [node.pre for node in nodes]
+                       for i, nodes in dom_walk().items()}
+                assert got == ref, f"positional paths diverged: {name}"
+
+            case = {}
+            for kernel, fn in ((DOM_WALK, dom_walk),
+                               (VECTORIZED, vectorized)):
+                case[kernel] = r.measure(
+                    scenario, file, kernel, n, fn,
+                    label=f"{scenario}[{kernel}]", scale=scale,
+                    size=label)
+            timings[name] = case
+        # End-to-end query pair: the bulk evaluator with the columnar
+        # positional path toggled off (whole-step DOM fallback) vs on.
+        query = ('doc("xmark.xml")//open_auction'
+                 '/child::bidder[position() mod 2 = 1]')
+        scenario = f"positional.scale{scale}.{query_name}"
+        if r.wanted(scenario):
+            n = len(shredded)
+
+            def run_query(flag):
+                bulk.POSITIONAL_KERNELS = flag
+                try:
+                    return db.query(query, strategy="ll")
+                finally:
+                    bulk.POSITIONAL_KERNELS = True
+
+            for kernel, flag in ((DOM_WALK, False), (VECTORIZED, True)):
+                r.measure(scenario, file, kernel, n,
+                          lambda flag=flag: run_query(flag),
+                          label=f"{scenario}[{kernel}]", scale=scale,
+                          size=label)
+        headline = timings.get("child_mod", {})
+        dom = headline.get(DOM_WALK, math.inf)
+        vec = headline.get(VECTORIZED, math.inf)
+        if math.isfinite(dom) and math.isfinite(vec) and vec > 0:
+            summary = {
+                "scale": scale, "size": label,
+                "case": "child_mod",
+                "dom_walk_seconds": round(dom, 6),
+                "vectorized_seconds": round(vec, 6),
+                "speedup": round(dom / vec, 2),
+            }
+    return summary
+
+
+#: The plan-cache batch: parse-heavy queries (prolog function + nested
+#: FLWOR/predicates) over a tiny document, so compilation dominates —
+#: the repeated-small-query serving shape the plan cache targets.
+_PLANCACHE_XML = "<r><a i='1'><b>t</b></a><a i='2'><c/></a></r>"
+_PLANCACHE_PROLOG = (
+    "declare function local:pick($s, $k) "
+    "{ for $x in $s where $x/@i = $k return $x };\n")
+_PLANCACHE_QUERIES = tuple(
+    _PLANCACHE_PROLOG
+    + f'for $a in local:pick(doc("t.xml")/r/child::a, "{k % 2 + 1}") '
+      f"return count($a/descendant-or-self::node()"
+      f"[position() mod {d} = 1])"
+    for k in range(8) for d in (2, 3)
+) + tuple(
+    f'doc("t.xml")/r/child::a[@i = "{k % 2 + 1}"]'
+    f"/child::*[1]/ancestor-or-self::node()[last()]"
+    for k in range(8)
+)
+
+
+def scenario_plancache(r: Runner) -> dict | None:
+    """Cross-query caches: the compiled-plan LRU on a repeated
+    small-query batch (warm vs ``plan_cache_size=0``), and the
+    content-hash shred cache at the ``shred_fragment`` level (hit +
+    rebind vs full column rebuild).  Returns the plan-cache batch
+    speedup."""
+    from repro.xmldb.shred import SHRED_CACHE, shred_fragment
+
+    file = "bench_plancache.py"
+    batch_names = ("plancache.batch.warm", "plancache.batch.cold")
+    shred_names = ("plancache.shred_fragment.hit",
+                   "plancache.shred_fragment.rebuild")
+    summary = None
+    if r.any_wanted(*batch_names):
+        def batch(db):
+            for query in _PLANCACHE_QUERIES:
+                db.query(query, strategy="basic")
+
+        timings = {}
+        for tag, size in (("warm", 256), ("cold", 0)):
+            db = Database(plan_cache_size=size)
+            db.add_document("t.xml", _PLANCACHE_XML)
+            batch(db)    # prime: the warm arm's one-time parse round
+            timings[tag] = r.measure(
+                f"plancache.batch.{tag}", file, None,
+                len(_PLANCACHE_QUERIES), lambda db=db: batch(db),
+                plan_cache_size=size)
+        if math.isfinite(timings.get("warm", math.inf)) \
+                and math.isfinite(timings.get("cold", math.inf)) \
+                and timings["warm"] > 0:
+            summary = {
+                "queries": len(_PLANCACHE_QUERIES),
+                "warm_seconds": round(timings["warm"], 6),
+                "cold_seconds": round(timings["cold"], 6),
+                "speedup": round(timings["cold"] / timings["warm"], 2),
+            }
+    if r.any_wanted(*shred_names):
+        repeat = 200 if r.smoke else 2_000
+        db = Database()
+        ctor = "<w>" + "<a i=\"1\"><b>text</b></a>" * repeat + "</w>"
+        # distinct content-equal roots: every hit goes through the
+        # fingerprint + rebind path, never the same-root shortcut
+        roots = [list(db.query(ctor))[0] for _ in range(4)]
+        n = sum(1 for _ in roots[0].descendants_or_self())
+        saved = (SHRED_CACHE.max_entries, SHRED_CACHE.max_bytes)
+        try:
+            for tag, entries in (("hit", 512), ("rebuild", 0)):
+                SHRED_CACHE.clear()
+                SHRED_CACHE.configure(max_entries=entries)
+                if entries:
+                    shred_fragment(roots[0])    # prime the one miss
+                r.measure(
+                    f"plancache.shred_fragment.{tag}", file, None,
+                    n * len(roots),
+                    lambda: [shred_fragment(root) for root in roots],
+                    shred_cache_entries=entries)
+        finally:
+            SHRED_CACHE.configure(max_entries=saved[0],
+                                  max_bytes=saved[1])
+            SHRED_CACHE.clear()
+    return summary
+
+
 SCENARIOS = [
     scenario_region_index,
     scenario_table_joins,
@@ -743,8 +967,10 @@ def resolve_baseline(arg: str | None, pr_label: str, smoke: bool
     """The baseline file to diff against, or ``None``.
 
     Explicit ``--baseline PATH`` wins (``none`` disables); otherwise a
-    full run labelled ``PR<k>`` auto-detects ``BENCH_PR<k-1>.json`` at
-    the repository root.
+    full run labelled ``PR<k>`` auto-detects the highest-numbered
+    committed ``BENCH_PR<j>.json`` (``j < k``) at the repository root —
+    trajectory points need not be consecutive (there is no PR6 file,
+    so a PR7 run diffs against ``BENCH_PR5.json``).
     """
     if arg is not None:
         if arg.lower() == "none":
@@ -753,10 +979,11 @@ def resolve_baseline(arg: str | None, pr_label: str, smoke: bool
     if smoke:
         return None
     match = re.fullmatch(r"PR(\d+)", pr_label)
-    if match and int(match.group(1)) >= 1:
-        candidate = _ROOT / f"BENCH_PR{int(match.group(1)) - 1}.json"
-        if candidate.exists():
-            return candidate
+    if match:
+        for j in range(int(match.group(1)) - 1, 0, -1):
+            candidate = _ROOT / f"BENCH_PR{j}.json"
+            if candidate.exists():
+                return candidate
     return None
 
 
@@ -776,7 +1003,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="DNF budget seconds per scenario "
                              "(default: 120, smoke: 30)")
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="output JSON path (default: BENCH_PR5.json "
+                        help="output JSON path (default: BENCH_PR7.json "
                              "at the repo root; BENCH_SMOKE.json with "
                              "--smoke)")
     parser.add_argument("--pr", default=None, metavar="LABEL",
@@ -822,7 +1049,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         out = Path(args.out) if args.out else \
             _ROOT / ("BENCH_SMOKE.json" if args.smoke
-                     else "BENCH_PR5.json")
+                     else "BENCH_PR7.json")
         pr_label = args.pr if args.pr else (
             out.stem[len("BENCH_"):] if out.stem.startswith("BENCH_")
             else out.stem)
@@ -838,6 +1065,8 @@ def main(argv: list[str] | None = None) -> int:
         axes_summary = scenario_staircase_axes(runner)
         siblings_summary = scenario_staircase_siblings(runner)
         sharding_summary = scenario_sharding(runner)
+        positional_summary = scenario_positional(runner)
+        plancache_summary = scenario_plancache(runner)
 
         payload = {
             "schema": "repro-bench-trajectory/1",
@@ -854,6 +1083,8 @@ def main(argv: list[str] | None = None) -> int:
                 "staircase_axes_headline": axes_summary,
                 "staircase_siblings_headline": siblings_summary,
                 "sharding_headline": sharding_summary,
+                "positional_headline": positional_summary,
+                "plancache_headline": plancache_summary,
             },
         }
         out.write_text(json.dumps(payload, indent=2) + "\n",
@@ -878,6 +1109,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"sharding headline: standoff select-wide workers=4 "
                   f"{sharding_summary['speedup']}x vs serial at scale "
                   f"{sharding_summary['scale']}")
+        if positional_summary:
+            print(f"positional headline: vectorized "
+                  f"{positional_summary['case']} "
+                  f"{positional_summary['speedup']}x vs the DOM walk "
+                  f"at scale {positional_summary['scale']} "
+                  f"({positional_summary['size']})")
+        if plancache_summary:
+            print(f"plancache headline: warm plan cache "
+                  f"{plancache_summary['speedup']}x vs cold parsing "
+                  f"over {plancache_summary['queries']} queries")
 
     gate_problems: list[str] = []
     gate_ran = required and not smoke \

@@ -54,7 +54,15 @@ def median_runtime(fn: Callable[[], object], budget_seconds: float,
     """Median of *repeats* timed runs; DNF short-circuits."""
     times = []
     for _ in range(repeats):
-        elapsed, _result = run_with_budget(fn, budget_seconds)
+        try:
+            elapsed, _result = run_with_budget(fn, budget_seconds)
+        except BenchmarkTimeout:
+            # The alarm can fire during the last bytecodes of fn(); the
+            # handler then raises at the next check, which may fall in
+            # run_with_budget's finally block — after the timer is
+            # cancelled but outside its except clause.  The run still
+            # exceeded its budget.
+            return DNF
         if elapsed is DNF or math.isinf(elapsed):
             return DNF
         times.append(elapsed)

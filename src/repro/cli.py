@@ -15,8 +15,8 @@ Interactive::
 
 Backslash commands: ``\load <uri> [path]``, ``\blob <uri> <path>``,
 ``\docs``, ``\strategy udf|basic|ll``, ``\kernel [standoff|staircase]
-ll|vectorized|auto``, ``\workers serial|<n>``, ``\timing on|off``,
-``\help``, ``\quit``.  Everything else is evaluated as a query;
+ll|vectorized|auto``, ``\workers serial|<n>``, ``\cache stats|clear``,
+``\timing on|off``, ``\help``, ``\quit``.  Everything else is evaluated as a query;
 results print one item per line (nodes serialized as XML).
 """
 
@@ -54,6 +54,8 @@ HELP = """\
                      family (standoff | staircase; default standoff)
 \\workers <n>         shard joins across <n> worker threads
                      (serial = single-shard deterministic reference)
+\\cache stats|clear   show / reset the cross-query caches (compiled
+                     plans, constructed-fragment shreds)
 \\timing on|off       print query wall-clock times
 \\help                this text
 \\quit                exit
@@ -63,8 +65,8 @@ any other input      evaluate as an XQuery query"""
 class CliSession:
     """A scriptable shell session (the REPL drives this object)."""
 
-    def __init__(self, out=None):
-        self.db = Database()
+    def __init__(self, out=None, *, plan_cache_size: int | None = None):
+        self.db = Database(plan_cache_size=plan_cache_size)
         self.strategy = "basic"
         self.kernel = DEFAULT_KERNEL
         self.staircase_kernel = DEFAULT_STAIRCASE_KERNEL
@@ -137,6 +139,30 @@ class CliSession:
         self.workers = value
         self.emit(f"workers = {value}")
 
+    def cache_command(self, action: str) -> None:
+        from repro.xmldb.shred import SHRED_CACHE
+
+        if action == "clear":
+            self.db.plan_cache.clear()
+            SHRED_CACHE.clear()
+            self.emit("caches cleared")
+            return
+        if action != "stats":
+            self.emit(f"unknown cache action {action!r} "
+                      "(expected stats or clear)")
+            return
+        plan = self.db.plan_cache.stats()
+        shred = SHRED_CACHE.stats()
+        self.emit(f"plan cache:  entries={plan['entries']}"
+                  f"/{plan['max_entries']} hits={plan['hits']} "
+                  f"misses={plan['misses']} "
+                  f"evictions={plan['evictions']}")
+        self.emit(f"shred cache: entries={shred['entries']}"
+                  f"/{shred['max_entries']} bytes={shred['bytes']}"
+                  f"/{shred['max_bytes']} hits={shred['hits']} "
+                  f"misses={shred['misses']} "
+                  f"evictions={shred['evictions']}")
+
     def run_query(self, text: str) -> None:
         start = time.perf_counter()
         try:
@@ -186,6 +212,8 @@ class CliSession:
                 self.set_kernel(args[0])
             elif command == "workers" and args:
                 self.set_workers(args[0])
+            elif command == "cache" and args:
+                self.cache_command(args[0])
             elif command == "timing" and args:
                 self.timing = args[0] == "on"
                 self.emit(f"timing = {'on' if self.timing else 'off'}")
@@ -231,6 +259,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="minimum rows per shard before a join "
                              f"fans out (default "
                              f"{DEFAULT_SHARD_MIN_ROWS})")
+    parser.add_argument("--plan-cache-size", type=int, default=None,
+                        metavar="N",
+                        help="compiled-plan LRU capacity (0 disables; "
+                             "default from REPRO_PLAN_CACHE)")
     args = parser.parse_args(argv)
 
     try:
@@ -242,7 +274,11 @@ def main(argv: list[str] | None = None) -> int:
                      f"(got {args.shard_min_rows}); the planner never "
                      "fans out below one row per shard")
 
-    session = CliSession()
+    if args.plan_cache_size is not None and args.plan_cache_size < 0:
+        parser.error("--plan-cache-size must be >= 0 "
+                     f"(got {args.plan_cache_size})")
+
+    session = CliSession(plan_cache_size=args.plan_cache_size)
     session.strategy = args.strategy
     session.kernel = args.kernel
     session.staircase_kernel = args.staircase_kernel

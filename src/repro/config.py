@@ -139,6 +139,32 @@ DEFAULT_SHARD_MIN_ROWS = int(os.environ.get("REPRO_SHARD_MIN_ROWS",
                                             "8192"))
 
 
+# ----------------------------------------------------------------------
+# Cross-query caches (compiled plans, fragment shreds)
+# ----------------------------------------------------------------------
+
+#: Compiled-plan LRU capacity (entries) of
+#: :class:`repro.xquery.engine.PlanCache`: parsed modules plus their
+#: static contexts, keyed on query text + static-context fingerprint.
+#: ``REPRO_PLAN_CACHE`` overrides process-wide; ``0`` disables (every
+#: query re-parses — the cold-path reference CI runs tier-1 under).
+DEFAULT_PLAN_CACHE_SIZE = int(os.environ.get("REPRO_PLAN_CACHE", "256"))
+
+#: Entry budget of the content-hash shred cache
+#: (:data:`repro.xmldb.shred.SHRED_CACHE`): shredded column sets of
+#: constructed fragments, keyed on a structural fingerprint so repeated
+#: constructions of identical content reuse the columns across queries.
+#: ``REPRO_SHRED_CACHE`` overrides process-wide; ``0`` disables.
+DEFAULT_SHRED_CACHE_ENTRIES = int(os.environ.get("REPRO_SHRED_CACHE",
+                                                 "512"))
+
+#: Byte budget of the shred cache (sum of cached column ``nbytes``);
+#: the LRU evicts past either budget.  ``REPRO_SHRED_CACHE_BYTES``
+#: overrides process-wide.
+DEFAULT_SHRED_CACHE_BYTES = int(os.environ.get("REPRO_SHRED_CACHE_BYTES",
+                                               str(64 * 1024 * 1024)))
+
+
 def normalize_workers(workers) -> int:
     """Normalize a ``workers`` setting to a worker count (``>= 1``).
 

@@ -94,8 +94,17 @@ class UnsupportedFeatureError(XQueryError):
     """The query uses a feature outside the implemented XQuery subset."""
 
 
-class BenchmarkTimeout(ReproError):
-    """An experiment exceeded its DNF (did-not-finish) budget."""
+class BenchmarkTimeout(BaseException):
+    """An experiment exceeded its DNF (did-not-finish) budget.
+
+    Deliberately *not* a ``ReproError`` (nor an ``Exception``): the DNF
+    harness raises it asynchronously from a ``SIGALRM`` handler, so it
+    can surface at any bytecode boundary — including inside a broad
+    ``except Exception`` in the lexer or evaluator, which would swallow
+    the interrupt and misreport it as a library error.  Like
+    ``KeyboardInterrupt``, it derives from ``BaseException`` so only
+    the harness's explicit handlers catch it.
+    """
 
     def __init__(self, message: str, budget_seconds: float):
         self.budget_seconds = budget_seconds

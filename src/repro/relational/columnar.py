@@ -47,6 +47,38 @@ def run_starts(sorted_vals: np.ndarray) -> np.ndarray:
         ([0], np.flatnonzero(sorted_vals[1:] != sorted_vals[:-1]) + 1))
 
 
+def segment_lengths(offsets: np.ndarray) -> np.ndarray:
+    """Per-row segment sizes of a CSR layout: for every value row, the
+    length of the segment it belongs to.
+
+    This is ``last()`` over a columnar axis result — one batched array
+    op instead of a per-context-node count.
+    """
+    counts = np.diff(np.asarray(offsets, dtype=np.int64))
+    return np.repeat(counts, counts)
+
+
+def segment_positions(offsets: np.ndarray, *,
+                      reverse: bool = False) -> np.ndarray:
+    """Per-row 1-based positions within each CSR segment.
+
+    With ``reverse=False`` rows count up in storage order (``1..len``
+    per segment — XPath ``position()`` on a forward axis, whose result
+    is stored in document order).  ``reverse=True`` counts down
+    (``len..1``): reverse axes enumerate in reverse document order, so
+    the first stored row of a segment is that context node's *last*
+    axis position — a segmented cumcount flipped per segment.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    counts = np.diff(offsets)
+    total = int(offsets[-1])
+    ordinal = (np.arange(total, dtype=np.int64)
+               - np.repeat(offsets[:-1], counts))
+    if reverse:
+        return np.repeat(counts, counts) - ordinal
+    return ordinal + 1
+
+
 def _as_int64(values) -> np.ndarray:
     return np.asarray(values, dtype=np.int64)
 

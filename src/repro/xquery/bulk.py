@@ -24,10 +24,15 @@ import numpy as np
 
 from repro.errors import (
     UnsupportedFeatureError,
+    XQueryDynamicError,
     XQueryStaticError,
     XQueryTypeError,
 )
-from repro.relational.columnar import ColumnarResult
+from repro.relational.columnar import (
+    ColumnarResult,
+    segment_lengths,
+    segment_positions,
+)
 from repro.relational.sequence import (
     IterSeq,
     LazyIterData,
@@ -451,11 +456,20 @@ def _bulk_step(step, env: BulkEnv, context: IterSeq | None) -> IterSeq:
 
 def _bulk_standard_axis(step: ast.AxisStep, env: BulkEnv,
                         context: IterSeq) -> IterSeq:
-    if not step.predicates and step.axis in STAIRCASE_AXES:
+    if step.axis in STAIRCASE_AXES:
         axis, or_self = STAIRCASE_AXES[step.axis]
-        lifted = _staircase_axis_step(step, env, context, axis, or_self)
-        if lifted is not None:
-            return lifted
+        if not step.predicates:
+            lifted = _staircase_axis_step(step, env, context, axis,
+                                          or_self)
+            if lifted is not None:
+                return lifted
+        elif POSITIONAL_KERNELS:
+            maskers = compile_positional_predicates(step.predicates)
+            if maskers is not None:
+                lifted = _staircase_positional_step(
+                    step, env, context, axis, or_self, maskers)
+                if lifted is not None:
+                    return lifted
 
     axis_fn = AXIS_FUNCTIONS[step.axis]
     reverse = step.axis in REVERSE_AXES
@@ -658,6 +672,351 @@ def _staircase_axis_step(step: ast.AxisStep, env: BulkEnv,
         # tie-free and the sort alone fixes the order.
         out = {it: document_order(nodes) for it, nodes in out.items()}
     return IterSeq(out)
+
+
+# ----------------------------------------------------------------------
+# vectorized positional predicates
+# ----------------------------------------------------------------------
+
+#: Escape hatch (benchmarks, debugging): when False, axis steps with
+#: positional predicates take the per-node DOM walk even when the
+#: predicate chain compiles — the behaviour before the columnar filter.
+POSITIONAL_KERNELS = True
+
+#: Magnitude bound on compiled positional arithmetic.  The pipeline
+#: evaluates in float64; below this bound every intermediate (including
+#: the products inside the ``mod`` identity) is an exactly-representable
+#: integer, so the compiled chain agrees bit-for-bit with the
+#: interpreted integer semantics of
+#: :func:`repro.xquery.values.arithmetic`.  Larger literals refuse to
+#: compile and larger runtime intermediates bail to the DOM walk.
+_POSITIONAL_EXACT_BOUND = float(2 ** 50)
+
+_POSITIONAL_CMP = {
+    "=": np.equal, "!=": np.not_equal,
+    "<": np.less, "<=": np.less_equal,
+    ">": np.greater, ">=": np.greater_equal,
+    "eq": np.equal, "ne": np.not_equal,
+    "lt": np.less, "le": np.less_equal,
+    "gt": np.greater, "ge": np.greater_equal,
+}
+
+
+class _PositionalOverflow(Exception):
+    """A runtime intermediate left the exact-integer float64 range."""
+
+
+def _positional_guard(out):
+    if np.any(np.abs(out) > _POSITIONAL_EXACT_BOUND):
+        raise _PositionalOverflow
+    return out
+
+
+def _positional_arith(x, y, op: str, integral: bool):
+    """Elementwise arithmetic mirroring :func:`values.arithmetic`.
+
+    ``integral`` selects the integer branch: its ``idiv`` truncates the
+    *rounded* float quotient exactly like ``_int_div`` (which divides in
+    float too), and its ``mod`` uses the same ``x - idiv(x, y) * y``
+    identity; the float branch uses ``fmod``, matching ``math.fmod``.
+    """
+    if op in ("div", "idiv", "mod") and np.any(np.equal(y, 0)):
+        raise XQueryDynamicError(f"{op}: division by zero",
+                                 code="err:FOAR0001")
+    if op == "+":
+        return _positional_guard(x + y)
+    if op == "-":
+        return _positional_guard(x - y)
+    if op == "*":
+        return _positional_guard(x * y)
+    if op == "div":
+        return _positional_guard(x / y)
+    if op == "idiv":
+        return _positional_guard(np.trunc(x / y))
+    if integral:
+        return _positional_guard(x - np.trunc(x / y) * y)
+    return _positional_guard(np.fmod(x, y))
+
+
+def _positional_ebv(fn, kind: str):
+    """Effective boolean value of a compiled numeric/boolean operand."""
+    if kind == "bool":
+        return fn
+    return lambda pos, last: np.not_equal(fn(pos, last), 0)
+
+
+def _nonzero_literal(expr) -> bool:
+    """True for a (possibly sign-wrapped) non-zero numeric literal —
+    a divisor that provably cannot raise ``err:FOAR0001``."""
+    while isinstance(expr, ast.UnaryOp):
+        expr = expr.operand
+    return (isinstance(expr, ast.Literal)
+            and isinstance(expr.value, (int, float))
+            and not isinstance(expr.value, bool)
+            and expr.value != 0)
+
+
+def _compile_positional_expr(expr):
+    """Compile one predicate into ``(fn, kind, may_raise)`` — or
+    ``None``.
+
+    ``fn(pos, last) -> ndarray`` evaluates the expression elementwise
+    over the float64 position/size columns of a CSR batch; ``kind`` is
+    ``"int"``/``"float"`` (numeric value) or ``"bool"``; ``may_raise``
+    marks a division whose divisor is not provably non-zero.  The
+    interpreted evaluator short-circuits ``and``/``or`` per item while
+    the compiled pipeline evaluates both sides for all rows, so a
+    may-raise operand under ``and``/``or`` refuses to compile — the
+    eager evaluation could surface a dynamic error the oracle never
+    reaches.  ``None`` means the expression is outside the positional
+    subset (literals, ``position()``/``last()``, arithmetic,
+    comparisons, ``and``/``or``, ``not()``/``true()``/``false()``) and
+    the step falls back to the per-node DOM walk.
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        if abs(value) > _POSITIONAL_EXACT_BOUND:
+            return None
+        kind = "int" if isinstance(value, int) else "float"
+        return (lambda pos, last: np.float64(value)), kind, False
+    if isinstance(expr, ast.FunctionCall):
+        local = expr.name.rpartition(":")[2]
+        if local == "position" and not expr.args:
+            return (lambda pos, last: pos), "int", False
+        if local == "last" and not expr.args:
+            return (lambda pos, last: last), "int", False
+        if local == "true" and not expr.args:
+            return (lambda pos, last: np.True_), "bool", False
+        if local == "false" and not expr.args:
+            return (lambda pos, last: np.False_), "bool", False
+        if local == "not" and len(expr.args) == 1:
+            arg = _compile_positional_expr(expr.args[0])
+            if arg is None:
+                return None
+            fn, kind, may_raise = arg
+            ebv = _positional_ebv(fn, kind)
+            return (lambda pos, last: np.logical_not(ebv(pos, last))), \
+                "bool", may_raise
+        return None
+    if isinstance(expr, ast.UnaryOp):
+        operand = _compile_positional_expr(expr.operand)
+        if operand is None or operand[1] == "bool":
+            return None
+        fn, kind, may_raise = operand
+        if expr.op == "-":
+            return (lambda pos, last: -fn(pos, last)), kind, may_raise
+        return fn, kind, may_raise
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op
+        if op == "and" or op == "or" or op in _ARITH_OPS \
+                or op in _POSITIONAL_CMP:
+            left = _compile_positional_expr(expr.left)
+            right = _compile_positional_expr(expr.right)
+            if left is None or right is None:
+                return None
+            (lhs, lkind, lraise), (rhs, rkind, rraise) = left, right
+        else:
+            return None
+        if op in ("and", "or"):
+            if lraise or rraise:
+                return None
+            lhs, rhs = _positional_ebv(lhs, lkind), \
+                _positional_ebv(rhs, rkind)
+            combine = np.logical_and if op == "and" else np.logical_or
+            return (lambda pos, last: combine(lhs(pos, last),
+                                              rhs(pos, last))), \
+                "bool", False
+        if lkind == "bool" or rkind == "bool":
+            return None
+        may_raise = lraise or rraise
+        if op in _POSITIONAL_CMP:
+            cmp = _POSITIONAL_CMP[op]
+            return (lambda pos, last: cmp(lhs(pos, last),
+                                          rhs(pos, last))), \
+                "bool", may_raise
+        if op in ("div", "idiv", "mod") \
+                and not _nonzero_literal(expr.right):
+            may_raise = True
+        integral = lkind == "int" and rkind == "int"
+        if op == "idiv" or (integral and op != "div"):
+            kind = "int"
+        else:
+            kind = "float"
+        return (lambda pos, last: _positional_arith(
+            lhs(pos, last), rhs(pos, last), op, integral)), \
+            kind, may_raise
+    return None
+
+
+def compile_positional_predicates(predicates: list):
+    """Compile a predicate chain into per-stage mask functions.
+
+    Each masker maps the ``(position, last)`` columns of one CSR batch
+    to a keep mask, applying :func:`_predicate_truth` semantics
+    vectorized: a numeric predicate keeps the rows whose position equals
+    its value, a boolean one keeps its own truth rows.  Returns ``None``
+    when any predicate is outside the positional subset.
+    """
+    maskers = []
+    for predicate in predicates:
+        compiled = _compile_positional_expr(predicate)
+        if compiled is None:
+            return None
+        fn, kind, _may_raise = compiled
+        if kind == "bool":
+            def masker(pos, last, _fn=fn):
+                return np.broadcast_to(
+                    np.asarray(_fn(pos, last), dtype=bool), pos.shape)
+        else:
+            def masker(pos, last, _fn=fn):
+                return np.asarray(_fn(pos, last)) == pos
+        maskers.append(masker)
+    return maskers
+
+
+def _apply_positional_chain(offsets: np.ndarray, values: np.ndarray,
+                            maskers: list, reverse: bool
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Filter a per-anchor CSR result through a compiled predicate
+    chain.  Positions renumber within the surviving rows after every
+    stage, exactly as XPath applies ``[p1][p2]`` left to right."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    for masker in maskers:
+        if not len(values):
+            break
+        pos = segment_positions(offsets, reverse=reverse) \
+            .astype(np.float64)
+        last = segment_lengths(offsets).astype(np.float64)
+        keep = masker(pos, last)
+        kept = np.concatenate(([0], np.cumsum(keep, dtype=np.int64)))
+        offsets = kept[offsets]
+        values = values[keep]
+    return offsets, values
+
+
+def _dom_positional_anchor(node: Node, step: ast.AxisStep,
+                           scope: DynamicContext) -> list[Node]:
+    """One anchor's axis-plus-predicates result via the DOM walk (the
+    rare corners the columnar filter leaves to the oracle path)."""
+    axis_fn = AXIS_FUNCTIONS[step.axis]
+    matched = [cand for cand in axis_fn(node)
+               if matches_test(cand, step.test, step.axis)]
+    if step.axis in REVERSE_AXES:
+        matched.sort(key=Node.sort_key, reverse=True)
+    for predicate in step.predicates:
+        matched = _filter_by_predicate(matched, predicate, scope)
+    return matched
+
+
+def _staircase_positional_step(step: ast.AxisStep, env: BulkEnv,
+                               context: IterSeq, axis: str,
+                               or_self: bool, maskers: list
+                               ) -> IterSeq | None:
+    """Staircase axis step with a compiled positional predicate chain.
+
+    Positions count per *context node*, not per iteration, so every
+    (iteration, context node) row becomes its own kernel anchor: the
+    join runs with one context row per anchor, making each CSR segment
+    exactly one context node's axis result in document order — forward
+    positions are the segment ordinals, reverse-axis positions the
+    flipped ordinals (:func:`segment_positions`).  Attribute anchors
+    whose or-self match would ride along DOM-side shift their whole
+    sequence, so those anchors evaluate through the walk; everything
+    else stays columnar.  Per-row collection in context order keeps
+    cross-fragment document_order ties identical to the oracle.
+    Returns None to fall back (unsupported test pool, non-node context,
+    or arithmetic past the exact-float range).
+    """
+    from repro.staircase.kernels_vec import staircase_join
+
+    reverse = step.axis in REVERSE_AXES
+    groups: dict[int, list[tuple[int, int]]] = {}
+    shreds: dict[int, object] = {}
+    anchor_iters: list[int] = []
+    dom_anchors: dict[int, Node] = {}
+    for it in env.loop:
+        for node in context.items_for(it):
+            if not isinstance(node, Node):
+                return None
+            shredded = env.ctx.shredded_for(node.root)
+            key = id(shredded)
+            shreds[key] = shredded
+            anchor = len(anchor_iters)
+            anchor_iters.append(it)
+            if or_self and isinstance(node, Attr) \
+                    and matches_test(node, step.test, step.axis):
+                dom_anchors[anchor] = node
+            else:
+                groups.setdefault(key, []).append((anchor, node.pre))
+    if not anchor_iters:
+        return IterSeq({})
+    cand_by_key: dict[int, object] = {}
+    for key, shredded in shreds.items():
+        candidates = _staircase_candidates(shredded, step.test)
+        if candidates is _UNSUPPORTED_TEST:
+            return None
+        cand_by_key[key] = candidates
+
+    def filtered_join(key, rows):
+        result = staircase_join(
+            axis, shreds[key], rows, cand_by_key[key], or_self=or_self,
+            kernel=env.ctx.staircase_kernel,
+            workers=env.ctx.workers,
+            shard_min_rows=env.ctx.shard_min_rows)
+        if not isinstance(result, ColumnarResult):
+            result = ColumnarResult.from_dict(result)
+        offsets, values = _apply_positional_chain(
+            result.offsets, result.values, maskers, reverse)
+        return result.iters, offsets, values
+
+    anchor_map = np.asarray(anchor_iters, dtype=np.int64)
+    try:
+        if len(groups) == 1 and not dom_anchors:
+            # Single-fragment fast path: survivors map straight back to
+            # iterations columnar; from_pairs re-sorts and dedups, which
+            # is document order within one fragment.
+            ((key, rows),) = groups.items()
+            anchors, offsets, values = filtered_join(key, rows)
+            lifted = ColumnarResult.from_pairs(
+                np.repeat(anchor_map[anchors], np.diff(offsets)), values)
+            shredded = shreds[key]
+
+            def decode(iteration: int, _result=lifted,
+                       _sh=shredded) -> list:
+                return [_sh.node_by_pre(pre)
+                        for pre in _result.values_for(iteration).tolist()]
+
+            return IterSeq(LazyIterData(lifted.iterations(), decode))
+
+        survivors: dict[int, list] = {}
+        for key, rows in groups.items():
+            anchors, offsets, values = filtered_join(key, rows)
+            bounds = offsets.tolist()
+            vals = values.tolist()
+            shredded = shreds[key]
+            for i, anchor in enumerate(anchors.tolist()):
+                a, b = bounds[i], bounds[i + 1]
+                if b > a:
+                    survivors[anchor] = [shredded.node_by_pre(pre)
+                                         for pre in vals[a:b]]
+    except _PositionalOverflow:
+        return None
+
+    if dom_anchors:
+        scope = env.ctx.child_scope()
+        for anchor, node in dom_anchors.items():
+            nodes = _dom_positional_anchor(node, step, scope)
+            if nodes:
+                survivors[anchor] = nodes
+
+    collected: dict[int, list] = {}
+    for anchor in sorted(survivors):
+        nodes = survivors[anchor]
+        collected.setdefault(int(anchor_map[anchor]), []).extend(nodes)
+    return IterSeq({it: document_order(nodes)
+                    for it, nodes in collected.items()})
 
 
 def _bulk_predicates_whole(seq: IterSeq, predicates: list,

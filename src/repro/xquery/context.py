@@ -115,11 +115,15 @@ class DynamicContext:
         self.focus: Optional[Focus] = None
         self.globals: dict[str, Sequence] = {}
         # region indexes for fragments that are not stored documents
-        # (constructed nodes), keyed by id(root node)
-        self._transient_indexes: dict[int, RegionIndex] = {}
+        # (constructed nodes), keyed by id(root node); every entry is a
+        # (root, value) pair — the strong root reference pins the
+        # fragment, so a GC'd fragment's recycled address can never
+        # alias a live entry, and lookups verify identity
+        self._transient_indexes: dict[int, tuple[Node, RegionIndex]] = {}
         # shredded columns for constructed fragments, same keying — the
-        # shred-on-demand cache that keeps staircase axis steps over
-        # constructed content on the kernel path
+        # per-query identity layer over the cross-query content-hash
+        # cache (repro.xmldb.shred.SHRED_CACHE) that keeps staircase
+        # axis steps over constructed content on the kernel path
         self._transient_shreds: dict = {}
         #: observability hook: number of standoff join invocations
         #: (a shared mutable cell so child scopes count into the root)
@@ -197,22 +201,26 @@ class DynamicContext:
             if stored is not None:
                 return stored.region_index(self.standoff_config)
         key = id(root)
-        index = self._transient_indexes.get(key)
-        if index is None:
+        entry = self._transient_indexes.get(key)
+        if entry is None or entry[0] is not root:
             root_doc = _TransientFragment(root)
             index = RegionIndex.build(
                 extract_regions(root_doc, self.standoff_config))
-            self._transient_indexes[key] = index
-        return index
+            self._transient_indexes[key] = (root, index)
+            return index
+        return entry[1]
 
     def shredded_for(self, root: Node):
         """The shredded columns of the fragment rooted at *root*.
 
         Stored documents use the store's cached shred; constructed
-        fragments shred on demand (cached per fragment root, like the
-        transient region indexes) — the substrate that lets the bulk
+        fragments shred on demand — the substrate that lets the bulk
         evaluator run staircase axis steps over constructed content
-        through the batched kernels instead of the DOM walk.
+        through the batched kernels instead of the DOM walk.  Two cache
+        layers serve the fragment case: this context's per-query
+        identity cache (stable ``id(shredded)`` within one query, with
+        a strong root reference per entry), backed by the cross-query
+        content-hash cache in :mod:`repro.xmldb.shred`.
         """
         from repro.xmldb.dom import Document
         from repro.xmldb.shred import shred_fragment
@@ -222,11 +230,12 @@ class DynamicContext:
             if stored is not None:
                 return stored.shredded
         key = id(root)
-        shredded = self._transient_shreds.get(key)
-        if shredded is None:
+        entry = self._transient_shreds.get(key)
+        if entry is None or entry[0] is not root:
             shredded = shred_fragment(root)
-            self._transient_shreds[key] = shredded
-        return shredded
+            self._transient_shreds[key] = (root, shredded)
+            return shredded
+        return entry[1]
 
 
 class _TransientFragment:

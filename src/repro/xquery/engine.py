@@ -23,8 +23,12 @@ Example::
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 from repro.config import (
     DEFAULT_KERNEL,
+    DEFAULT_PLAN_CACHE_SIZE,
     DEFAULT_SHARD_MIN_ROWS,
     DEFAULT_STAIRCASE_KERNEL,
     DEFAULT_WORKERS,
@@ -67,14 +71,92 @@ class QueryResult(list):
         return atomize(self)
 
 
+class PlanCache:
+    """Cross-query LRU of compiled plans: parsed module + static
+    context, keyed on (query text, static-context fingerprint).
+
+    The parser is pure and the evaluators never mutate the AST or the
+    static context, so a compiled plan is reusable verbatim — parse
+    once, evaluate many.  ``max_entries == 0`` (env
+    ``REPRO_PLAN_CACHE=0``) disables caching; only failed compilations
+    are never cached (static errors re-raise on re-parse).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_PLAN_CACHE_SIZE):
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def get(self, text: str, fingerprint=()):
+        if not self.enabled:
+            return None
+        key = (text, fingerprint)
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def put(self, text: str, plan, fingerprint=()) -> None:
+        if not self.enabled:
+            return
+        key = (text, fingerprint)
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
 class Database:
     """An in-memory XML database with the StandOff XQuery extensions."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, plan_cache_size: int | None = None) -> None:
         from repro.xmldb.blob import BlobStore
 
         self.store = DocumentStore()
         self.blobs = BlobStore()
+        #: Compiled-plan LRU (``plan_cache_size=0`` disables; default
+        #: from ``REPRO_PLAN_CACHE``).
+        self.plan_cache = PlanCache(
+            DEFAULT_PLAN_CACHE_SIZE if plan_cache_size is None
+            else plan_cache_size)
+
+    def _static_fingerprint(self) -> tuple:
+        """The plan-cache key component beyond the query text.
+
+        Everything that feeds static analysis today is derived from the
+        query text itself, so the fingerprint is a constant version
+        marker; any future engine-level static configuration (default
+        collations, module resolution, option overrides) must be folded
+        in here before it can influence compilation.
+        """
+        return ("static-v1",)
 
     # -- document management ---------------------------------------------
 
@@ -171,8 +253,14 @@ class Database:
             raise ValueError(
                 f"unknown strategy {strategy!r}; expected one of "
                 f"{sorted(_STRATEGIES)}") from None
-        module = parse(text)
-        static = StaticContext.from_prolog(module.prolog)
+        fingerprint = self._static_fingerprint()
+        plan = self.plan_cache.get(text, fingerprint)
+        if plan is None:
+            module = parse(text)
+            static = StaticContext.from_prolog(module.prolog)
+            self.plan_cache.put(text, (module, static), fingerprint)
+        else:
+            module, static = plan
         if pushdown not in ("always", "never", "auto"):
             raise ValueError(
                 f"unknown pushdown policy {pushdown!r}; expected "

@@ -385,3 +385,59 @@ class TestAutoKernel:
         session.handle("\\kernel auto")
         assert session.kernel == "auto"
         assert "kernel = auto" in out.getvalue()
+
+
+class TestSegmentPositionColumns:
+    """``segment_positions`` / ``segment_lengths``: the per-segment
+    ordinal and length columns the positional-predicate kernels read
+    straight off a CSR ``offsets`` array."""
+
+    def test_forward_positions(self):
+        from repro.relational.columnar import segment_positions
+
+        offsets = np.array([0, 3, 3, 5], dtype=np.int64)
+        assert segment_positions(offsets).tolist() == [1, 2, 3, 1, 2]
+
+    def test_reverse_positions(self):
+        from repro.relational.columnar import segment_positions
+
+        offsets = np.array([0, 3, 3, 5], dtype=np.int64)
+        got = segment_positions(offsets, reverse=True)
+        assert got.tolist() == [3, 2, 1, 2, 1]
+
+    def test_segment_lengths(self):
+        from repro.relational.columnar import segment_lengths
+
+        offsets = np.array([0, 3, 3, 5], dtype=np.int64)
+        assert segment_lengths(offsets).tolist() == [3, 3, 3, 2, 2]
+
+    def test_empty_offsets(self):
+        from repro.relational.columnar import (
+            segment_lengths,
+            segment_positions,
+        )
+
+        offsets = np.array([0], dtype=np.int64)
+        assert segment_positions(offsets).size == 0
+        assert segment_lengths(offsets).size == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=7),
+                    min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_per_segment_enumeration(self, counts):
+        from repro.relational.columnar import (
+            segment_lengths,
+            segment_positions,
+        )
+
+        offsets = np.concatenate(
+            ([0], np.cumsum(counts))).astype(np.int64)
+        forward, reverse, lengths = [], [], []
+        for count in counts:
+            forward.extend(range(1, count + 1))
+            reverse.extend(range(count, 0, -1))
+            lengths.extend([count] * count)
+        assert segment_positions(offsets).tolist() == forward
+        assert segment_positions(
+            offsets, reverse=True).tolist() == reverse
+        assert segment_lengths(offsets).tolist() == lengths

@@ -230,6 +230,130 @@ def test_fuzz_constructed_fragment_contexts(seed=9300):
                     assert got == oracle, (seed, query, kernel, workers)
 
 
+#: Positional-predicate pool: numeric literals, ``position()``
+#: arithmetic (every operator the columnar compiler accepts),
+#: ``last()``, boolean combinators and chained predicates.  Each one
+#: must compile onto the CSR position/length columns — and where it
+#: cannot (the DOM-walk fallback), still agree with the oracle.
+POSITIONAL_PREDICATES = (
+    "[1]", "[2]", "[3]", "[last()]", "[last() - 1]",
+    "[position() = 2]", "[position() != 2]", "[position() < 3]",
+    "[position() <= 2]", "[position() >= 2]", "[position() > 1]",
+    "[position() mod 2 = 1]", "[position() mod 2 = 0]",
+    "[position() = last()]", "[position() < last()]",
+    "[(position() + 1) idiv 2]", "[position() * 2 - 1]",
+    "[last() idiv 2 + 1]", "[-position() + 3]",
+    "[not(position() = 1)]",
+    "[position() > 1 and position() < 4]",
+    "[position() = 1 or position() = last()]",
+)
+
+#: Reverse axes flip positional order (position 1 = nearest in reverse
+#: document order); keep them over-represented in the positional fuzz.
+REVERSE_FUZZ_AXES = ("parent", "ancestor", "ancestor-or-self",
+                     "preceding", "preceding-sibling")
+
+
+def random_positional_step(rng: random.Random) -> str:
+    if rng.random() < 0.45:
+        axis = rng.choice(REVERSE_FUZZ_AXES)
+    else:
+        axis = rng.choice(AXES)
+    test = rng.choice((*TAGS, "*", "node()", "text()"))
+    step = f"{axis}::{test}" + rng.choice(POSITIONAL_PREDICATES)
+    if rng.random() < 0.3:
+        step += rng.choice(POSITIONAL_PREDICATES)
+    return step
+
+
+@pytest.mark.parametrize("seed", range(6000, 6006))
+def test_fuzz_positional_predicates(seed):
+    """Positional predicates — ``position()`` arithmetic, ``last()``,
+    chained predicates, reverse axes — under every kernel × workers
+    setting must serialize identically to the DOM-walk oracle."""
+    rng = random.Random(seed)
+    db = Database()
+    db.add_document("f.xml", random_xml(rng))
+    anchors = (f'doc("f.xml")//{rng.choice(TAGS)}',
+               'doc("f.xml")/r', 'doc("f.xml")//node()')
+    for _q in range(4):
+        steps = "/".join(random_positional_step(rng)
+                         for _ in range(rng.randrange(1, 3)))
+        query = f"{rng.choice(anchors)}/{steps}"
+        if rng.random() < 0.25:
+            query = f"count({query})"
+        oracle = db.query(query, strategy="basic").serialize()
+        for kernel in KERNELS_UNDER_TEST:
+            for workers in WORKERS_UNDER_TEST:
+                got = db.query(query, strategy="ll", kernel=kernel,
+                               staircase_kernel=kernel, workers=workers,
+                               shard_min_rows=1).serialize()
+                assert got == oracle, (seed, query, kernel, workers)
+
+
+def test_fuzz_positional_constructed_fragments(seed=6500):
+    """Positional predicates over constructed-fragment contexts ride
+    the content-hash shred cache; answers must stay oracle-identical."""
+    rng = random.Random(seed)
+    for _trial in range(2):
+        db = Database()
+        db.add_document("f.xml", random_xml(rng))
+        for template in CONSTRUCTED_TEMPLATES[:3]:
+            axis = rng.choice((*REVERSE_FUZZ_AXES, "child",
+                               "descendant", "following-sibling"))
+            test = rng.choice(("*", "node()"))
+            query = template.format(tag=rng.choice(TAGS), axis=axis,
+                                    test=test)
+            # graft a positional predicate onto the final step
+            query += rng.choice(POSITIONAL_PREDICATES)
+            oracle = db.query(query, strategy="basic").serialize()
+            for kernel in KERNELS_UNDER_TEST:
+                for workers in WORKERS_UNDER_TEST:
+                    got = db.query(query, strategy="ll", kernel=kernel,
+                                   staircase_kernel=kernel,
+                                   workers=workers,
+                                   shard_min_rows=1).serialize()
+                    assert got == oracle, (seed, query, kernel, workers)
+
+
+def test_positional_division_by_zero_matches_oracle():
+    """Eagerly vectorized arithmetic must raise the same err:FOAR0001
+    the per-item oracle raises — and must refuse to compile ``and``/
+    ``or`` over operands that may raise, preserving short-circuits."""
+    from repro.errors import XQueryDynamicError
+
+    db = Database()
+    db.add_document("f.xml", "<r><a/><a/><a/></r>")
+    query = 'doc("f.xml")/r/child::a[position() mod (position() - 1) = 0]'
+    with pytest.raises(XQueryDynamicError) as oracle_err:
+        db.query(query, strategy="basic")
+    with pytest.raises(XQueryDynamicError) as ll_err:
+        db.query(query, strategy="ll")
+    assert oracle_err.value.code == ll_err.value.code == "err:FOAR0001"
+    # short-circuit guard: the oracle never reaches the division for
+    # position 1, so neither may the kernel path
+    guarded = ('doc("f.xml")/r/child::a'
+               '[position() > 1 and position() mod (position() - 1) = 0]')
+    oracle = db.query(guarded, strategy="basic").serialize()
+    for kernel in KERNELS_UNDER_TEST:
+        got = db.query(guarded, strategy="ll", staircase_kernel=kernel,
+                       workers=4, shard_min_rows=1).serialize()
+        assert got == oracle, kernel
+
+
+def test_positional_compiler_covers_the_pool():
+    """The predicate pool above must actually exercise the columnar
+    compiler: every entry without a known bail-out reason compiles."""
+    from repro.xquery import bulk
+    from repro.xquery.parser import parse
+
+    for predicate in POSITIONAL_PREDICATES:
+        module = parse(f'doc("f.xml")/r/child::a{predicate}')
+        step = module.body.steps[-1]
+        maskers = bulk.compile_positional_predicates(step.predicates)
+        assert maskers is not None and len(maskers) == 1, predicate
+
+
 def test_cross_fragment_tie_break_matches_oracle():
     """Two transient fragments share doc id -1, so their nodes can tie
     on (doc id, pre); the DOM walk breaks ties by per-iteration context
