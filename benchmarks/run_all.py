@@ -25,8 +25,13 @@ variants; each record carries the ``workers`` setting).  The
 ``positional.*`` family pits the vectorized positional-predicate
 filter against the per-node DOM walk; ``plancache.*`` measures the
 cross-query compiled-plan and fragment-shred caches warm vs cold.
+The ``coldstart.*`` family times serving a saved store (zero-copy
+``np.memmap`` open) against rebuilding the shred from XML text, and
+``procpool.*`` pits the process-pool executor against the thread pool
+and the serial reference over store-backed documents
+(``.serial``/``.threads4``/``.procs4`` variants).
 
-Output defaults to ``BENCH_PR7.json`` (``BENCH_SMOKE.json`` with
+Output defaults to ``BENCH_PR8.json`` (``BENCH_SMOKE.json`` with
 ``--smoke``) at the repository root.
 
 **Trajectory comparison**: a full run whose label is ``PR<k>`` is
@@ -100,7 +105,8 @@ AUTO = "auto"
 #: disables).
 REQUIRED_SCENARIO_PREFIXES = ("staircase.", "staircase_axes.",
                               "sharding.", "staircase_siblings.",
-                              "positional.", "plancache.")
+                              "positional.", "plancache.",
+                              "coldstart.", "procpool.")
 
 
 class Runner:
@@ -867,6 +873,217 @@ def scenario_plancache(r: Runner) -> dict | None:
     return summary
 
 
+def scenario_coldstart(r: Runner) -> dict | None:
+    """Out-of-core cold start: serving a saved store (O(1) header read
+    + zero-copy ``np.memmap`` column views) vs re-deriving the same
+    state from XML text (parse + shred + region extraction — what
+    every process had to pay before PR 8).  Both arms end ready for
+    kernel joins: shredded columns plus the default region index; the
+    mapped arm touches first/last column entries so the timing
+    includes the initial page faults, not just the ``open`` syscall.
+    Returns the speedup at the largest scale."""
+    import shutil
+    import tempfile
+
+    from repro import storage
+    from repro.core.region_index import RegionIndex
+    from repro.xmldb.parser import parse_document
+    from repro.xmldb.shred import shred
+    from repro.xmldb.store import extract_regions
+
+    file = "bench_coldstart.py"
+    scales = (0.25,) if r.smoke else (0.5, 4.0, 16.0)
+    summary = None
+    for scale in scales:
+        names = [f"coldstart.scale{scale}.{tag}"
+                 for tag in ("open_mmap", "reshred")]
+        if not r.any_wanted(*names):
+            continue
+        db, label = _xmark_build(scale)
+        stored = db.store.get("xmark.xml")
+        xml = stored.document.serialize()
+        n = len(stored.shredded)
+        tmp = tempfile.mkdtemp(prefix="repro-bench-coldstart-")
+        try:
+            path = str(Path(tmp) / "xmark.repro")
+            storage.save_store(path, db)    # paid once, at publish time
+
+            def open_mmap():
+                reader = storage.StoreReader(path)
+                sh = reader.shredded("xmark.xml")
+                index = reader.region_index("xmark.xml")
+                return (int(sh.pre[0]) + int(sh.size[-1])
+                        + int(sh.name[0]) + len(index))
+
+            def reshred():
+                document = parse_document(xml, uri="xmark.xml")
+                sh = shred(document)
+                index = RegionIndex.build(extract_regions(document))
+                return (int(sh.pre[0]) + int(sh.size[-1])
+                        + int(sh.name[0]) + len(index))
+
+            assert open_mmap() == reshred(), \
+                "mapped cold start diverged from the rebuilt shred"
+            timings = {}
+            for tag, fn in (("open_mmap", open_mmap),
+                            ("reshred", reshred)):
+                timings[tag] = r.measure(
+                    f"coldstart.scale{scale}.{tag}", file, None, n, fn,
+                    label=f"coldstart.scale{scale}.{tag}",
+                    scale=scale, size=label,
+                    store_bytes=Path(path).stat().st_size)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        open_s = timings.get("open_mmap", math.inf)
+        reshred_s = timings.get("reshred", math.inf)
+        if math.isfinite(open_s) and math.isfinite(reshred_s) \
+                and open_s > 0:
+            summary = {
+                "scale": scale, "size": label, "n": int(n),
+                "open_mmap_seconds": round(open_s, 6),
+                "reshred_seconds": round(reshred_s, 6),
+                "speedup": round(reshred_s / open_s, 2),
+            }
+    return summary
+
+
+def scenario_procpool(r: Runner) -> dict | None:
+    """The process-pool executor on the bandwidth-bound axes: serial vs
+    the thread pool vs real processes (``executor="process"``), all
+    over one *store-backed* document so workers ship ``(path, slice)``
+    descriptors and map the shared pages instead of pickling columns.
+    The staircase arms run ``following``/``preceding`` (the axes whose
+    result mass made thread fan-out a wash under the GIL — PR 4
+    measured ``workers4`` at ~0.7x serial here); the StandOff arm is a
+    wide select scan through the same store-backed region index.  Pool
+    spawn cost is paid outside the timings (``warm_pool``), matching
+    the long-lived-server deployment the executor targets.  Returns
+    the process-vs-threads speedup on ``following`` at the largest
+    scale."""
+    import shutil
+    import tempfile
+
+    from repro import storage
+    from repro.core.steps import Strategy, standoff_step
+    from repro.exec import procpool
+    from repro.staircase.kernels_vec import staircase_join
+
+    file = "bench_procpool.py"
+    scales = (0.25,) if r.smoke else (0.5, 4.0, 16.0)
+    workers = 4
+    shard_min_rows = 512
+    variants = ("serial", "threads4", "procs4")
+    axes = ("following", "preceding")
+    summary = None
+    for scale in scales:
+        names = [f"procpool.scale{scale}.staircase_{axis}.{tag}"
+                 for axis in axes for tag in variants]
+        names += [f"procpool.scale{scale}.standoff_select_wide.{tag}"
+                  for tag in variants]
+        if not r.any_wanted(*names):
+            continue
+        db, label = _xmark_build(scale)
+        tmp = tempfile.mkdtemp(prefix="repro-bench-procpool-")
+        try:
+            path = str(Path(tmp) / "xmark.repro")
+            storage.save_store(path, db)
+            reader = storage.StoreReader(path)
+            shredded = reader.shredded("xmark.xml")
+            index = reader.region_index("xmark.xml")
+            procpool.warm_pool(workers)    # spawn cost paid up front
+
+            desc = ("name", "bidder")
+            pool = procpool.resolve_staircase_pool(shredded, desc)
+            context_rows = [
+                (it, int(pre)) for it, pre in enumerate(
+                    shredded.elements_named("open_auction").tolist())]
+            n = len(context_rows) + len(pool)
+
+            def run_staircase(axis, tag):
+                executor = "process" if tag == "procs4" else "thread"
+                w = "serial" if tag == "serial" else workers
+                return staircase_join(
+                    axis, shredded, context_rows, pool,
+                    kernel="vectorized", workers=w,
+                    shard_min_rows=shard_min_rows,
+                    executor=executor, candidate_desc=desc)
+
+            for axis in axes:
+                serial_ref = run_staircase(axis, "serial")
+                for tag in ("threads4", "procs4"):
+                    got = run_staircase(axis, tag)
+                    assert np.array_equal(serial_ref.iters, got.iters) \
+                        and np.array_equal(serial_ref.offsets,
+                                           got.offsets) \
+                        and np.array_equal(serial_ref.values,
+                                           got.values), \
+                        f"{tag} staircase diverged from serial ({axis})"
+                timings = {}
+                for tag in variants:
+                    timings[tag] = r.measure(
+                        f"procpool.scale{scale}.staircase_{axis}.{tag}",
+                        file, VECTORIZED, n,
+                        lambda axis=axis, tag=tag: run_staircase(
+                            axis, tag),
+                        label=f"procpool.scale{scale}."
+                              f"staircase_{axis}[{tag}]",
+                        scale=scale, size=label, workers=workers,
+                        shard_min_rows=shard_min_rows,
+                        executor="process" if tag == "procs4"
+                        else "thread")
+                if axis == "following" \
+                        and math.isfinite(timings["threads4"]) \
+                        and math.isfinite(timings["procs4"]) \
+                        and timings["procs4"] > 0:
+                    summary = {
+                        "scale": scale, "size": label, "n": int(n),
+                        "axis": axis,
+                        "serial_seconds": round(timings["serial"], 6),
+                        "threads4_seconds": round(
+                            timings["threads4"], 6),
+                        "procs4_seconds": round(timings["procs4"], 6),
+                        "speedup_vs_threads": round(
+                            timings["threads4"] / timings["procs4"], 2),
+                    }
+
+            ids = index.annotated_ids().tolist()
+            per_iter = 20
+            n_iters = max(4, len(ids) // per_iter)
+            context, cursor = [], 0
+            for it in range(n_iters):
+                for _ in range(per_iter):
+                    context.append((it, 0, ids[cursor % len(ids)]))
+                    cursor += 17
+            n_standoff = len(context) + len(index)
+
+            def run_standoff(tag):
+                executor = "process" if tag == "procs4" else "thread"
+                w = "serial" if tag == "serial" else workers
+                return standoff_step(
+                    StandoffOp.SELECT_WIDE, context, {0: index},
+                    strategy=Strategy.LOOP_LIFTED, kernel="vectorized",
+                    workers=w, shard_min_rows=shard_min_rows,
+                    executor=executor)
+
+            serial_ref = run_standoff("serial")
+            for tag in ("threads4", "procs4"):
+                assert run_standoff(tag) == serial_ref, \
+                    f"{tag} standoff diverged from serial"
+            for tag in variants:
+                r.measure(
+                    f"procpool.scale{scale}.standoff_select_wide.{tag}",
+                    file, VECTORIZED, n_standoff,
+                    lambda tag=tag: run_standoff(tag),
+                    label=f"procpool.scale{scale}."
+                          f"standoff_select_wide[{tag}]",
+                    scale=scale, size=label, workers=workers,
+                    shard_min_rows=shard_min_rows,
+                    executor="process" if tag == "procs4" else "thread")
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return summary
+
+
 SCENARIOS = [
     scenario_region_index,
     scenario_table_joins,
@@ -1003,7 +1220,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="DNF budget seconds per scenario "
                              "(default: 120, smoke: 30)")
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="output JSON path (default: BENCH_PR7.json "
+                        help="output JSON path (default: BENCH_PR8.json "
                              "at the repo root; BENCH_SMOKE.json with "
                              "--smoke)")
     parser.add_argument("--pr", default=None, metavar="LABEL",
@@ -1049,7 +1266,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         out = Path(args.out) if args.out else \
             _ROOT / ("BENCH_SMOKE.json" if args.smoke
-                     else "BENCH_PR7.json")
+                     else "BENCH_PR8.json")
         pr_label = args.pr if args.pr else (
             out.stem[len("BENCH_"):] if out.stem.startswith("BENCH_")
             else out.stem)
@@ -1067,6 +1284,8 @@ def main(argv: list[str] | None = None) -> int:
         sharding_summary = scenario_sharding(runner)
         positional_summary = scenario_positional(runner)
         plancache_summary = scenario_plancache(runner)
+        coldstart_summary = scenario_coldstart(runner)
+        procpool_summary = scenario_procpool(runner)
 
         payload = {
             "schema": "repro-bench-trajectory/1",
@@ -1085,6 +1304,8 @@ def main(argv: list[str] | None = None) -> int:
                 "sharding_headline": sharding_summary,
                 "positional_headline": positional_summary,
                 "plancache_headline": plancache_summary,
+                "coldstart_headline": coldstart_summary,
+                "procpool_headline": procpool_summary,
             },
         }
         out.write_text(json.dumps(payload, indent=2) + "\n",
@@ -1119,6 +1340,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"plancache headline: warm plan cache "
                   f"{plancache_summary['speedup']}x vs cold parsing "
                   f"over {plancache_summary['queries']} queries")
+        if coldstart_summary:
+            print(f"coldstart headline: mmap open "
+                  f"{coldstart_summary['speedup']}x vs re-shred at "
+                  f"scale {coldstart_summary['scale']} "
+                  f"({coldstart_summary['size']})")
+        if procpool_summary:
+            print(f"procpool headline: process executor "
+                  f"{procpool_summary['speedup_vs_threads']}x vs "
+                  f"workers=4 threads on {procpool_summary['axis']} "
+                  f"at scale {procpool_summary['scale']} "
+                  f"({procpool_summary['size']})")
 
     gate_problems: list[str] = []
     gate_ran = required and not smoke \

@@ -9,6 +9,7 @@ than merely predicted to be slow.
 
 from __future__ import annotations
 
+import gc
 import math
 import signal
 import time
@@ -51,8 +52,17 @@ def run_with_budget(fn: Callable[[], object], budget_seconds: float
 
 def median_runtime(fn: Callable[[], object], budget_seconds: float,
                    repeats: int = 3) -> float:
-    """Median of *repeats* timed runs; DNF short-circuits."""
+    """Median of *repeats* timed runs; DNF short-circuits.
+
+    The repeats start from a collected heap: generation counters left
+    near a threshold by *earlier* scenarios (e.g. a million-node DOM
+    build) would otherwise charge a full-heap GC pass to whichever
+    unlucky measurement the crossing lands in.  Collecting once before
+    the loop — not per repeat — keeps the later repeats cache-warm;
+    the median is insensitive to the one cold first run.
+    """
     times = []
+    gc.collect()
     for _ in range(repeats):
         try:
             elapsed, _result = run_with_budget(fn, budget_seconds)

@@ -15,9 +15,18 @@ Interactive::
 
 Backslash commands: ``\load <uri> [path]``, ``\blob <uri> <path>``,
 ``\docs``, ``\strategy udf|basic|ll``, ``\kernel [standoff|staircase]
-ll|vectorized|auto``, ``\workers serial|<n>``, ``\cache stats|clear``,
-``\timing on|off``, ``\help``, ``\quit``.  Everything else is evaluated as a query;
-results print one item per line (nodes serialized as XML).
+ll|vectorized|auto``, ``\workers serial|<n>``, ``\executor
+thread|process``, ``\save-store <path>``, ``\store stats``,
+``\cache stats|clear``, ``\timing on|off``, ``\help``, ``\quit``.
+Everything else is evaluated as a query; results print one item per
+line (nodes serialized as XML).
+
+Out-of-core stores: ``--store <path>`` opens a store file written by
+``\save-store`` (or :func:`repro.storage.save_store`) instead of
+parsing XML — an O(1) cold start off the memory-mapped columns.
+``--storage mmap`` spills freshly loaded documents to mapped store
+files, which is what lets ``--executor process`` fan shards out to
+worker processes sharing the column pages.
 """
 
 from __future__ import annotations
@@ -28,14 +37,18 @@ import time
 from pathlib import Path
 
 from repro.config import (
+    DEFAULT_EXECUTOR,
     DEFAULT_KERNEL,
     DEFAULT_SHARD_MIN_ROWS,
     DEFAULT_STAIRCASE_KERNEL,
+    DEFAULT_STORAGE_BACKEND,
     DEFAULT_WORKERS,
     FAMILY_STAIRCASE,
     FAMILY_STANDOFF,
+    SUPPORTED_EXECUTORS,
     SUPPORTED_FAMILIES,
     SUPPORTED_KERNELS,
+    SUPPORTED_STORAGE_BACKENDS,
     WORKERS_SERIAL,
     normalize_workers,
 )
@@ -54,6 +67,13 @@ HELP = """\
                      family (standoff | staircase; default standoff)
 \\workers <n>         shard joins across <n> worker threads
                      (serial = single-shard deterministic reference)
+\\executor <name>     where sharded joins run: thread | process
+                     (process needs store-backed documents — open a
+                     store with --store or use --storage mmap)
+\\save-store <path>   write every stored document's columns to a
+                     versioned store file (reopen with --store)
+\\store stats         per-document storage backend, file size, and
+                     mapped vs resident bytes
 \\cache stats|clear   show / reset the cross-query caches (compiled
                      plans, constructed-fragment shreds)
 \\timing on|off       print query wall-clock times
@@ -65,13 +85,23 @@ any other input      evaluate as an XQuery query"""
 class CliSession:
     """A scriptable shell session (the REPL drives this object)."""
 
-    def __init__(self, out=None, *, plan_cache_size: int | None = None):
-        self.db = Database(plan_cache_size=plan_cache_size)
+    def __init__(self, out=None, *, plan_cache_size: int | None = None,
+                 storage_backend: str | None = None,
+                 store_path: str | None = None):
+        if store_path is not None:
+            from repro import storage
+
+            self.db = storage.open_store(
+                store_path, plan_cache_size=plan_cache_size)
+        else:
+            self.db = Database(plan_cache_size=plan_cache_size,
+                               storage_backend=storage_backend)
         self.strategy = "basic"
         self.kernel = DEFAULT_KERNEL
         self.staircase_kernel = DEFAULT_STAIRCASE_KERNEL
         self.workers = DEFAULT_WORKERS
         self.shard_min_rows = DEFAULT_SHARD_MIN_ROWS
+        self.executor = DEFAULT_EXECUTOR
         self.timing = False
         self.out = out if out is not None else sys.stdout
         self.done = False
@@ -139,6 +169,40 @@ class CliSession:
         self.workers = value
         self.emit(f"workers = {value}")
 
+    def set_executor(self, name: str) -> None:
+        if name not in SUPPORTED_EXECUTORS:
+            self.emit(f"unknown executor {name!r} "
+                      f"(expected {' or '.join(SUPPORTED_EXECUTORS)})")
+            return
+        self.executor = name
+        self.emit(f"executor = {name}")
+
+    def save_store(self, path: str) -> None:
+        from repro import storage
+
+        storage.save_store(path, self.db)
+        size = Path(path).stat().st_size
+        self.emit(f"saved {len(self.db.store)} document(s) to {path} "
+                  f"({size} bytes)")
+
+    def store_stats(self) -> None:
+        from repro import storage
+
+        rows = storage.store_stats(self.db)
+        if not rows:
+            self.emit("(no documents)")
+            return
+        for row in rows:
+            line = f"{row['uri']}  backend={row['backend']}"
+            if row["path"]:
+                line += f"  file={row['path']}"
+            if row["file_size"] is not None:
+                line += f"  size={row['file_size']}"
+            if row["mapped_bytes"] is not None:
+                line += (f"  mapped={row['mapped_bytes']}"
+                         f"  resident={row['resident_bytes']}")
+            self.emit(line)
+
     def cache_command(self, action: str) -> None:
         from repro.xmldb.shred import SHRED_CACHE
 
@@ -170,7 +234,8 @@ class CliSession:
                                    kernel=self.kernel,
                                    staircase_kernel=self.staircase_kernel,
                                    workers=self.workers,
-                                   shard_min_rows=self.shard_min_rows)
+                                   shard_min_rows=self.shard_min_rows,
+                                   executor=self.executor)
         except ReproError as error:
             self.emit(f"error: {error}")
             return
@@ -212,6 +277,12 @@ class CliSession:
                 self.set_kernel(args[0])
             elif command == "workers" and args:
                 self.set_workers(args[0])
+            elif command == "executor" and args:
+                self.set_executor(args[0])
+            elif command == "save-store" and args:
+                self.save_store(args[0])
+            elif command == "store" and args and args[0] == "stats":
+                self.store_stats()
             elif command == "cache" and args:
                 self.cache_command(args[0])
             elif command == "timing" and args:
@@ -254,6 +325,23 @@ def main(argv: list[str] | None = None) -> int:
                              "threads ('serial' = deterministic "
                              "single-shard reference; default from "
                              "REPRO_WORKERS)")
+    parser.add_argument("--executor", default=DEFAULT_EXECUTOR,
+                        choices=list(SUPPORTED_EXECUTORS),
+                        help="where sharded joins run: 'thread' (shared "
+                             "pool, default from REPRO_EXECUTOR) or "
+                             "'process' (store-backed jobs fan out to "
+                             "worker processes mapping the same store "
+                             "file)")
+    parser.add_argument("--storage", default=DEFAULT_STORAGE_BACKEND,
+                        choices=list(SUPPORTED_STORAGE_BACKENDS),
+                        help="storage backend for loaded documents: "
+                             "'memory' (default from REPRO_STORAGE) or "
+                             "'mmap' (spill columns to a mapped store "
+                             "file)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="open a saved store file (written by "
+                             "\\save-store) instead of parsing XML — "
+                             "O(1) cold start off the mapped columns")
     parser.add_argument("--shard-min-rows", type=int,
                         default=DEFAULT_SHARD_MIN_ROWS, metavar="ROWS",
                         help="minimum rows per shard before a join "
@@ -278,12 +366,19 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--plan-cache-size must be >= 0 "
                      f"(got {args.plan_cache_size})")
 
-    session = CliSession(plan_cache_size=args.plan_cache_size)
+    try:
+        session = CliSession(plan_cache_size=args.plan_cache_size,
+                             storage_backend=args.storage,
+                             store_path=args.store)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     session.strategy = args.strategy
     session.kernel = args.kernel
     session.staircase_kernel = args.staircase_kernel
     session.workers = args.workers
     session.shard_min_rows = args.shard_min_rows
+    session.executor = args.executor
     try:
         for path in args.load:
             session.load_document(Path(path).name, path)

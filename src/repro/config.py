@@ -138,6 +138,77 @@ DEFAULT_WORKERS = os.environ.get("REPRO_WORKERS", WORKERS_SERIAL)
 DEFAULT_SHARD_MIN_ROWS = int(os.environ.get("REPRO_SHARD_MIN_ROWS",
                                             "8192"))
 
+#: Shard executors.  ``thread`` dispatches shard jobs onto the shared
+#: :class:`~concurrent.futures.ThreadPoolExecutor`
+#: (:mod:`repro.exec.sharding`); ``process`` routes them to a pool of
+#: worker *processes* (:mod:`repro.exec.procpool`) that re-open the
+#: same memory-mapped store file — the backend PR 4 identified for the
+#: bandwidth-bound ``following``/``preceding`` axes, where threads gain
+#: nothing under the GIL.  The process executor requires store-backed
+#: columns (a ``store_ref``); jobs without one fall back to threads, so
+#: the knob is always safe to set.
+EXECUTOR_THREAD = "thread"
+EXECUTOR_PROCESS = "process"
+
+SUPPORTED_EXECUTORS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
+
+#: Default shard executor; ``REPRO_EXECUTOR`` overrides process-wide.
+DEFAULT_EXECUTOR = os.environ.get("REPRO_EXECUTOR", EXECUTOR_THREAD)
+
+
+# ----------------------------------------------------------------------
+# Storage backends (in-memory columns vs memory-mapped store files)
+# ----------------------------------------------------------------------
+
+#: Shredded columns and region tables live as process-private NumPy
+#: arrays rebuilt from the DOM at load time.
+STORAGE_MEMORY = "memory"
+
+#: Columns are written once to a versioned store file
+#: (:mod:`repro.storage`) and mapped back with ``np.memmap`` — O(1)
+#: cold start, pages shared across processes.
+STORAGE_MMAP = "mmap"
+
+SUPPORTED_STORAGE_BACKENDS = (STORAGE_MEMORY, STORAGE_MMAP)
+
+#: Default storage backend for stored documents; ``REPRO_STORAGE``
+#: overrides process-wide (CI runs a tier-1 pass under
+#: ``REPRO_STORAGE=mmap`` so every engine-level test exercises the
+#: store round-trip).
+DEFAULT_STORAGE_BACKEND = os.environ.get("REPRO_STORAGE", STORAGE_MEMORY)
+
+#: Directory for automatic store spill files under the mmap backend
+#: (``None``: a per-process temp directory, removed at exit).
+STORAGE_SPILL_DIR = os.environ.get("REPRO_STORAGE_DIR") or None
+
+
+def normalize_executor(executor) -> str:
+    """Normalize an ``executor`` setting (``None`` -> the default).
+
+    :raises ValueError: for anything but ``thread`` / ``process``.
+    """
+    if executor is None:
+        return DEFAULT_EXECUTOR
+    if executor not in SUPPORTED_EXECUTORS:
+        raise ValueError(
+            f"invalid executor {executor!r}; expected one of "
+            f"{list(SUPPORTED_EXECUTORS)}")
+    return executor
+
+
+def normalize_storage_backend(backend) -> str:
+    """Normalize a storage-backend setting (``None`` -> the default).
+
+    :raises ValueError: for anything but ``memory`` / ``mmap``.
+    """
+    if backend is None:
+        return DEFAULT_STORAGE_BACKEND
+    if backend not in SUPPORTED_STORAGE_BACKENDS:
+        raise ValueError(
+            f"invalid storage backend {backend!r}; expected one of "
+            f"{list(SUPPORTED_STORAGE_BACKENDS)}")
+    return backend
+
 
 # ----------------------------------------------------------------------
 # Cross-query caches (compiled plans, fragment shreds)

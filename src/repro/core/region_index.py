@@ -26,6 +26,21 @@ from repro.core.region import Area, Region
 from repro.errors import RegionError
 
 
+def _position_column(values) -> np.ndarray:
+    """Coerce a start/end column to an explicit little-endian dtype.
+
+    ``np.asarray`` alone would infer a *platform* dtype (e.g. big-endian
+    int64 on s390x, int32 on some Windows builds), which would leak into
+    the on-disk store format.  Integral positions become ``<i8``;
+    floating positions (``xs:double`` standoff configs) become ``<f8``.
+    On little-endian hosts these are the native dtypes, so the
+    ``astype(copy=False)`` is free.
+    """
+    arr = np.asarray(values)
+    target = "<f8" if arr.dtype.kind in "fc" else "<i8"
+    return arr.astype(target, copy=False)
+
+
 class RegionTable:
     """An immutable, start-clustered ``start|end|id`` column triple.
 
@@ -38,9 +53,9 @@ class RegionTable:
 
     def __init__(self, starts: np.ndarray, ends: np.ndarray,
                  ids: np.ndarray, *, presorted: bool = False):
-        starts = np.asarray(starts)
-        ends = np.asarray(ends)
-        ids = np.asarray(ids, dtype=np.int64)
+        starts = _position_column(starts)
+        ends = _position_column(ends)
+        ids = np.asarray(ids).astype("<i8", copy=False)
         if not (len(starts) == len(ends) == len(ids)):
             raise RegionError(
                 "start/end/id columns must have equal length "
@@ -54,6 +69,11 @@ class RegionTable:
         if not presorted and len(starts):
             order = np.lexsort((ids, ends, starts))
             starts, ends, ids = starts[order], ends[order], ids[order]
+        # The table is shared across queries (and, memory-mapped,
+        # across processes): physically immutable columns only.
+        starts.flags.writeable = False
+        ends.flags.writeable = False
+        ids.flags.writeable = False
         self.starts = starts
         self.ends = ends
         self.ids = ids
@@ -154,6 +174,10 @@ class RegionIndex:
     clustered on ``start``.  Built once after shredding; immutable
     afterwards (rebuild to update — MonetDB/XQuery semantics for 0.10).
     """
+
+    #: ``(store path, uri)`` when the table columns are mmap views of a
+    #: store file — the handle worker processes use to re-open it.
+    store_ref: tuple[str, str] | None = None
 
     def __init__(self, table: RegionTable):
         self._table = table

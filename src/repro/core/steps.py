@@ -35,9 +35,11 @@ from repro.config import (
     DEFAULT_KERNEL,
     DEFAULT_SHARD_MIN_ROWS,
     DEFAULT_WORKERS,
+    EXECUTOR_PROCESS,
     FAMILY_STANDOFF,
     KERNEL_LL,
     KERNELS,
+    normalize_executor,
     normalize_workers,
 )
 from repro.exec.sharding import partition_by_iteration, run_shards
@@ -80,6 +82,7 @@ def standoff_step(op: StandoffOp,
                   fragment_rank: Mapping[int, int] | None = None,
                   workers=DEFAULT_WORKERS,
                   shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
+                  executor: str | None = None,
                   ) -> ColumnarStepResult:
     """Execute one StandOff step.
 
@@ -122,6 +125,15 @@ def standoff_step(op: StandoffOp,
         path.
     :param shard_min_rows: minimum context rows per iteration-range
         shard (see :func:`repro.exec.sharding.partition_by_iteration`).
+    :param executor: where a sharded fan-out runs — ``"thread"`` (the
+        shared thread pool, the default) or ``"process"``.  The process
+        path (:mod:`repro.exec.procpool`) only engages when *every*
+        participating region index is backed by a mapped store file
+        (``index.store_ref``): workers re-open the store by path and
+        re-derive ``index.candidates(wanted)`` locally, so job
+        descriptors stay tiny.  Any in-memory fragment in the mix
+        falls the whole step back to threads — same answers either
+        way, enforced by the differential suite.
     :returns: a :class:`~repro.relational.columnar.ColumnarStepResult` —
         ``iter -> [(fragment, node_id), ...]`` under its lazy dict view,
         unique, in document order (fragment rank, then node id ascending
@@ -138,27 +150,51 @@ def standoff_step(op: StandoffOp,
     else:
         ordered = sorted(per_fragment,
                          key=lambda frag: fragment_rank[frag])
-    job_fragments: list[int] = []
-    jobs = []
+    frag_infos = []          # (fragment, index, wanted ids, chunks)
     for fragment in ordered:
         index = indexes.get(fragment)
         if index is None:
             continue
         if candidate_ids is None:
-            candidates = index.candidates(None)
+            wanted = None
         else:
             wanted = candidate_ids.get(fragment)
             if wanted is None:
                 continue
+        chunks = _iteration_chunks(per_fragment[fragment], workers,
+                                   shard_min_rows)
+        frag_infos.append((fragment, index, wanted, chunks))
+
+    n_jobs = sum(len(chunks) for _f, _i, _w, chunks in frag_infos)
+    use_processes = (
+        normalize_executor(executor) == EXECUTOR_PROCESS
+        and normalize_workers(workers) > 1 and n_jobs > 1
+        and all(getattr(index, "store_ref", None) is not None
+                for _f, index, _w, _c in frag_infos))
+
+    job_fragments: list[int] = []
+    if use_processes:
+        from repro.exec.procpool import run_standoff
+
+        pjobs = []
+        for fragment, index, wanted, chunks in frag_infos:
+            for chunk in chunks:
+                job_fragments.append(fragment)
+                pjobs.append((index.store_ref, op, chunk, wanted,
+                              strategy, active_structure, kernel))
+        results = run_standoff(pjobs, normalize_workers(workers))
+    else:
+        jobs = []
+        for fragment, index, wanted, chunks in frag_infos:
             candidates = index.candidates(wanted)
-        for chunk in _iteration_chunks(per_fragment[fragment], workers,
-                                       shard_min_rows):
-            job_fragments.append(fragment)
-            jobs.append(lambda chunk=chunk, index=index,
-                        candidates=candidates: _run_fragment(
-                            op, chunk, index, candidates, strategy,
-                            active_structure, kernel))
-    parts = list(zip(job_fragments, run_shards(jobs, workers)))
+            for chunk in chunks:
+                job_fragments.append(fragment)
+                jobs.append(lambda chunk=chunk, index=index,
+                            candidates=candidates: _run_fragment(
+                                op, chunk, index, candidates, strategy,
+                                active_structure, kernel))
+        results = run_shards(jobs, workers)
+    parts = list(zip(job_fragments, results))
     # Per-fragment results are id-ascending per iteration and fragments
     # are concatenated in rank order, so the stable columnar merge
     # yields document order directly; no per-pair re-sort needed.

@@ -39,6 +39,13 @@ class RelationalError(ReproError):
     """Misuse of the column-store substrate (schema mismatch, bad arity)."""
 
 
+class StorageFormatError(ReproError):
+    """An on-disk store file is unreadable: bad magic, unsupported
+    format version, truncated file, corrupt header, or a blob failing
+    its checksum.  Raised by :mod:`repro.storage` so callers never see
+    a cryptic NumPy/JSON error for a damaged store."""
+
+
 class UnknownKernelError(ReproError, ValueError):
     """An unregistered join family or kernel name was requested.
 

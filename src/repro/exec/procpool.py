@@ -1,0 +1,366 @@
+"""Process-pool shard execution over memory-mapped stores.
+
+The thread-pool fan-out (:mod:`repro.exec.sharding`) is the right tool
+for compute-bound kernels, but the bandwidth-bound axes (``following``
+/ ``preceding`` and wide StandOff scans) spend their time streaming
+columns through the memory hierarchy — there, threads contend for the
+same last-level cache and memory controllers under one address space,
+and the GIL handoffs around each NumPy call add up.  This module fans
+the *same shard plans* out to worker **processes** instead.
+
+What makes that cheap is the store file (:mod:`repro.storage`): a
+worker re-opens the memory-mapped store by path, so the OS shares the
+column pages between every participant and the job descriptors shipped
+over the pipe are tiny — ``(store path, uri)`` references plus each
+shard's slice of the (deduplicated) context columns; never the
+candidate arrays themselves.
+
+Unlike the thread path, which shards the *candidate pool* into
+pre-order ranges, the process path shards the **iteration dimension**:
+the canonical ``(iter, pre)`` context is split at iteration boundaries
+and every worker runs the whole pool against its own iterations.  The
+loop-lifted iterations are independent, so shard results are disjoint,
+ordered CSR blocks — the merge is a plain block concatenation
+(:func:`_concat_iteration_blocks`, memcpy-cheap) instead of the k-way
+per-iteration interleave pool-range shards force, and no worker ever
+recomputes another shard's per-iteration thresholds.  The concatenated
+arrays are byte-identical to the serial kernel's by construction.
+
+Workers resolve their inputs from the store, not from pickles:
+
+* the candidate pool is re-derived from a **candidate descriptor**
+  (``("name", tag)``, ``("kind", k)``, …) through the same
+  :class:`~repro.xmldb.shred.ShreddedDocument` pool routines the
+  parent used, so both sides see the same array without shipping it;
+* a StandOff job re-derives ``index.candidates(wanted)`` against the
+  worker's mapped region index.
+
+Pools use the ``spawn`` start method (fork would duplicate the parent's
+arbitrarily large heap and is unsafe with threads) and are cached per
+worker count for the life of the process — spawn start-up is paid once,
+not per join.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exec.sharding import ShardPlan
+from repro.relational.columnar import ColumnarResult, run_starts
+
+#: (store path, document uri) — how jobs reference mapped columns.
+StoreRef = tuple[str, str]
+
+#: Below this many result bytes a shard result is pickled through the
+#: pool's result pipe as-is; at or above it the worker parks the CSR
+#: columns in a POSIX shared-memory segment and ships only its name.
+#: The bandwidth-bound axes return orders of magnitude more data than
+#: they read — pushing those columns through the pickle pipe (two
+#: copies plus 64 KiB-chunked syscalls) costs more than the join
+#: itself, while an shm segment is written once by the worker and
+#: mapped zero-copy by the parent.
+SHM_MIN_BYTES = 1 << 20
+
+_PROC_POOLS: dict[int, ProcessPoolExecutor] = {}
+_PROC_POOLS_LOCK = threading.Lock()
+
+
+def _proc_pool(workers: int) -> ProcessPoolExecutor:
+    with _PROC_POOLS_LOCK:
+        pool = _PROC_POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("spawn"))
+            _PROC_POOLS[workers] = pool
+        return pool
+
+
+def _shutdown_pools() -> None:
+    with _PROC_POOLS_LOCK:
+        pools = list(_PROC_POOLS.values())
+        _PROC_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(_shutdown_pools)
+
+
+def warm_pool(workers: int) -> None:
+    """Start the pool's workers and import the engine in each.
+
+    Benchmarks call this outside the timed section so process-pool
+    timings measure the joins, not spawn + import cost (which real
+    deployments amortize over the pool's lifetime anyway).
+    """
+    pool = _proc_pool(workers)
+    futures = [pool.submit(_import_engine) for _ in range(workers)]
+    for future in futures:
+        future.result()
+
+
+def worker_pids(workers: int) -> set[int]:
+    """Distinct PIDs answering in the pool (test/diagnostic hook)."""
+    pool = _proc_pool(workers)
+    futures = [pool.submit(os.getpid) for _ in range(workers * 2)]
+    return {future.result() for future in futures}
+
+
+# ----------------------------------------------------------------------
+# result transport
+# ----------------------------------------------------------------------
+
+def _pack_columnar(result: ColumnarResult) -> tuple:
+    """Make a worker-side :class:`ColumnarResult` cheap to return.
+
+    Small results ride the ordinary pickle pipe.  Large ones are
+    copied once into a shared-memory segment; the payload then carries
+    only the segment name plus per-array ``(dtype, shape, offset)``
+    descriptors.  The segment stays linked until the parent consumed
+    it (:func:`_unpack_columnar` attaches, the caller unlinks via the
+    returned handles) — and if the parent dies first, the
+    ``multiprocessing`` resource tracker reaps the segment at exit.
+    """
+    arrays = [np.ascontiguousarray(result.iters),
+              np.ascontiguousarray(result.offsets),
+              np.ascontiguousarray(result.values)]
+    total = sum(a.nbytes for a in arrays)
+    if total < SHM_MIN_BYTES:
+        return "col", tuple(arrays)
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    metas = []
+    offset = 0
+    for a in arrays:
+        view = np.ndarray(a.shape, a.dtype, buffer=segment.buf,
+                          offset=offset)
+        view[...] = a
+        metas.append((a.dtype.str, a.shape, offset))
+        offset += a.nbytes
+    name = segment.name
+    segment.close()
+    return "col-shm", name, metas
+
+
+def _unpack_columnar(payload: tuple, handles: list) -> ColumnarResult:
+    """Rehydrate a :func:`_pack_columnar` payload in the parent.
+
+    Shared-memory payloads come back as zero-copy views; the attached
+    segment is appended to *handles* and stays valid until
+    :func:`_release_segments` — callers release only after the views
+    have been merged (or copied) into parent-owned arrays.
+    """
+    if payload[0] == "col":
+        return ColumnarResult(*payload[1])
+    _tag, name, metas = payload
+    segment = shared_memory.SharedMemory(name=name)
+    handles.append(segment)
+    return ColumnarResult(*(
+        np.ndarray(shape, np.dtype(dtype), buffer=segment.buf,
+                   offset=offset)
+        for dtype, shape, offset in metas))
+
+
+def _release_segments(handles: list) -> None:
+    for segment in handles:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+def _import_engine() -> int:
+    """Pre-import the join machinery (see :func:`warm_pool`)."""
+    import repro.core.steps      # noqa: F401
+    import repro.staircase.kernels_vec  # noqa: F401
+    import repro.storage         # noqa: F401
+
+    return os.getpid()
+
+
+def _worker_stored(store_ref: StoreRef):
+    """The worker's cached stored-document facade for a store ref.
+
+    ``open_store_reader`` caches the mapped :class:`StoreReader` per
+    path and the reader caches the facade per uri, so across all shard
+    jobs of a worker process each store file is opened and validated
+    exactly once and the shred/region-index rebuilds are reused.
+    """
+    from repro.storage import open_store_reader
+
+    path, uri = store_ref
+    return open_store_reader(path).stored(uri)
+
+
+def resolve_staircase_pool(shredded, desc: tuple) -> np.ndarray:
+    """Resolve a candidate descriptor against a shredded document.
+
+    The descriptor vocabulary mirrors the bulk evaluator's pool
+    selection (:func:`repro.xquery.bulk._staircase_candidates`); both
+    sides call the same :class:`ShreddedDocument` routines, so the
+    worker's pool is element-for-element the parent's pool and the
+    parent's shard plan indexes it directly.
+    """
+    kind = desc[0]
+    if kind == "all":
+        return shredded.pre
+    if kind == "all-elements":
+        return shredded.all_element_pres()
+    if kind == "name":
+        return shredded.elements_matching(desc[1])
+    if kind == "kind":
+        return shredded.pres_of_kind(desc[1])
+    if kind == "non-attr":
+        return shredded.non_attribute_pres()
+    raise ValueError(f"unknown candidate descriptor {desc!r}")
+
+
+def _staircase_shard(store_ref: StoreRef, axis: str,
+                     its: np.ndarray, pres: np.ndarray,
+                     desc: tuple, or_self: bool):
+    """One staircase iteration-range shard, run inside a worker process.
+
+    *its*/*pres* are this shard's slice of the canonical context (whole
+    iterations only); the candidate pool is the full pool, re-derived
+    from the descriptor against the worker's mapped columns.
+    """
+    from repro.staircase.kernels_vec import vec_staircase_join
+
+    shredded = _worker_stored(store_ref).shredded
+    pool = resolve_staircase_pool(shredded, desc)
+    result = vec_staircase_join(axis, shredded, (its, pres), pool,
+                                or_self=or_self)
+    return _pack_columnar(result)
+
+
+def _standoff_shard(store_ref: StoreRef, op, chunk, wanted,
+                    strategy, active_structure: str, kernel: str):
+    """One StandOff fragment/iteration-range job in a worker process."""
+    from repro.core.steps import _run_fragment
+
+    index = _worker_stored(store_ref).region_index()
+    candidates = index.candidates(wanted)
+    result = _run_fragment(op, chunk, index, candidates, strategy,
+                           active_structure, kernel)
+    if isinstance(result, ColumnarResult):
+        return _pack_columnar(result)
+    return "raw", result
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+def _iteration_slices(its: np.ndarray, workers: int
+                      ) -> list[tuple[int, int]]:
+    """Split canonical context rows into ≤ *workers* contiguous ranges.
+
+    Cut points snap to iteration boundaries (an iteration's rows never
+    straddle two shards), targeting even row counts per shard.
+    """
+    n = len(its)
+    if n == 0:
+        return []
+    bounds = np.append(run_starts(its), n)
+    targets = np.linspace(0, n, workers + 1)[1:-1]
+    cuts = bounds[np.searchsorted(bounds, targets, side="left")]
+    edges = np.unique(np.concatenate(([0], cuts, [n])))
+    return [(int(lo), int(hi))
+            for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
+
+
+def _concat_iteration_blocks(shards: list[ColumnarResult]
+                             ) -> ColumnarResult:
+    """Concatenate iteration-disjoint, ordered CSR blocks.
+
+    Because shard contexts partition the iterations in order, the
+    global result is the shard results laid end to end — ``iters`` and
+    ``values`` concatenate directly and each shard's ``offsets`` tail
+    shifts by the values emitted before it.  (``np.concatenate`` always
+    copies, so the output owns its memory even when inputs are views
+    into shared-memory segments.)
+    """
+    shards = [s for s in shards if len(s.iters)]
+    if not shards:
+        return ColumnarResult.empty()
+    iters = np.concatenate([s.iters for s in shards])
+    values = np.concatenate([s.values for s in shards])
+    offsets = np.empty(len(iters) + 1, np.int64)
+    offsets[0] = 0
+    row = 0
+    shift = 0
+    for s in shards:
+        k = len(s.iters)
+        offsets[row + 1:row + 1 + k] = s.offsets[1:] + shift
+        row += k
+        shift += len(s.values)
+    return ColumnarResult(iters, offsets, values)
+
+
+def run_staircase(axis: str, store_ref: StoreRef,
+                  canon: tuple[np.ndarray, np.ndarray],
+                  desc: tuple, plan: ShardPlan, *,
+                  or_self: bool) -> ColumnarResult:
+    """Fan a staircase join out to the process pool by iteration range.
+
+    *canon* is the canonicalized ``(its, pres)`` context; each shard
+    ships only its own slice of it (the small side — the pool stays
+    behind in the mapped file).  Iteration-disjoint shard results merge
+    by block concatenation: byte-identical to the serial kernel.
+    """
+    its, pres = canon
+    pool = _proc_pool(plan.workers)
+    futures = [pool.submit(_staircase_shard, store_ref, axis,
+                           its[lo:hi], pres[lo:hi], desc, or_self)
+               for lo, hi in _iteration_slices(its, plan.workers)]
+    handles: list = []
+    try:
+        shards = [_unpack_columnar(future.result(), handles)
+                  for future in futures]
+        return _concat_iteration_blocks(shards)
+    finally:
+        _release_segments(handles)
+
+
+def run_standoff(jobs: list[tuple], workers: int) -> list:
+    """Run StandOff fragment jobs on the process pool, in job order.
+
+    Each job is the :func:`_standoff_shard` argument tuple.  Results
+    are rehydrated to what the thread path's ``_run_fragment`` returns
+    — a :class:`ColumnarResult` or a reference-path dict — so
+    ``ColumnarStepResult.from_fragments`` consumes them unchanged.
+    """
+    pool = _proc_pool(workers)
+    futures = [pool.submit(_standoff_shard, *job) for job in jobs]
+    out = []
+    for future in futures:
+        payload = future.result()
+        if payload[0] == "raw":
+            out.append(payload[1])
+            continue
+        handles: list = []
+        try:
+            result = _unpack_columnar(payload, handles)
+            if handles:
+                # These results outlive this call (the step layer
+                # merges them later) — copy out of the segment so it
+                # can be unlinked now.
+                result = ColumnarResult(result.iters.copy(),
+                                        result.offsets.copy(),
+                                        result.values.copy())
+            out.append(result)
+        finally:
+            _release_segments(handles)
+    return out

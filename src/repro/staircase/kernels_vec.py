@@ -61,9 +61,11 @@ from repro.config import (
     DEFAULT_SHARD_MIN_ROWS,
     DEFAULT_STAIRCASE_KERNEL,
     DEFAULT_WORKERS,
+    EXECUTOR_PROCESS,
     FAMILY_STAIRCASE,
     KERNEL_VECTORIZED,
     KERNELS,
+    normalize_executor,
 )
 from repro.relational.columnar import ColumnarResult, run_starts
 from repro.staircase.staircase import anchor_pres
@@ -493,7 +495,9 @@ def staircase_join(axis: str, doc: ShreddedDocument,
                    or_self: bool = False,
                    kernel: str = DEFAULT_STAIRCASE_KERNEL,
                    workers=DEFAULT_WORKERS,
-                   shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS
+                   shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
+                   executor: str | None = None,
+                   candidate_desc: tuple | None = None
                    ) -> ColumnarResult | dict[int, list[int]]:
     """Run a loop-lifted staircase axis step under the selected kernel.
 
@@ -515,6 +519,16 @@ def staircase_join(axis: str, doc: ShreddedDocument,
     unsharded call — byte-identical to the pre-sharding pipeline.  The
     ``ll`` reference path never shards (it exists to be the
     deterministic oracle).
+
+    ``executor="process"`` routes the same shard plan to worker
+    *processes* (:mod:`repro.exec.procpool`) when the document's
+    columns live in a mapped store (``doc.store_ref``) and the caller
+    supplied a picklable ``candidate_desc`` describing *candidates* —
+    workers re-open the store by path (OS page sharing), re-derive the
+    pool from the descriptor, and shard results merge through the
+    identical k-way concat.  Jobs without a store behind them fall
+    back to the thread pool, so the executor knob never changes
+    answers, only where the shards run.
     """
     from repro.exec.sharding import concat_shards, plan_shards, run_shards
     from repro.staircase.loop_lifted import ll_axis_join
@@ -536,6 +550,13 @@ def staircase_join(axis: str, doc: ShreddedDocument,
     # Canonicalize the context (sort + dedup) once; shard jobs share
     # the (its, pres) columns instead of re-sorting per shard.
     canon = _context_arrays(np.asarray(context, dtype=np.int64))
+
+    if normalize_executor(executor) == EXECUTOR_PROCESS \
+            and doc.store_ref is not None and candidate_desc is not None:
+        from repro.exec.procpool import run_staircase
+
+        return run_staircase(axis, doc.store_ref, canon, candidate_desc,
+                             plan, or_self=or_self)
 
     def shard_job(lo: int, hi: int):
         return lambda: vec_staircase_join(axis, doc, canon,

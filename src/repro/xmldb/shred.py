@@ -9,6 +9,11 @@ array) which serves as MonetDB/XQuery's "element index" for candidate
 pushdown into StandOff steps.  Attributes appear as rows of kind
 ATTRIBUTE numbered directly after their owner element, with their owner
 recoverable through the ``parent`` column.
+
+All columns are frozen (``writeable=False``) at construction: a shred
+may be shared across queries through the content-hash cache, and — via
+:mod:`repro.storage` — across *processes* through one memory-mapped
+store file, so nothing downstream may mutate a column in place.
 """
 
 from __future__ import annotations
@@ -35,15 +40,70 @@ from repro.xmldb.dom import (
 )
 
 
+def freeze(*arrays: np.ndarray) -> None:
+    """Mark arrays physically immutable.
+
+    Setting ``writeable=False`` is always permitted (unlike setting it
+    back to True), including on views and on already-read-only memmaps.
+    """
+    for arr in arrays:
+        arr.flags.writeable = False
+
+
+class StringHeap:
+    """Read-only ``pre -> str`` mapping over three frozen columns.
+
+    The storage representation of :attr:`ShreddedDocument.values`: the
+    pre ranks that carry a value (sorted), offsets into a UTF-8 heap,
+    and the heap bytes.  Strings decode lazily per lookup, so opening a
+    memory-mapped store never touches the heap pages.
+    """
+
+    __slots__ = ("pres", "offsets", "heap")
+
+    def __init__(self, pres: np.ndarray, offsets: np.ndarray,
+                 heap: np.ndarray):
+        self.pres = pres
+        self.offsets = offsets
+        self.heap = heap
+
+    @classmethod
+    def from_dict(cls, values: dict[int, str]) -> "StringHeap":
+        pres = np.asarray(sorted(values), dtype="<i8")
+        blobs = [values[int(p)].encode("utf-8") for p in pres]
+        offsets = np.zeros(len(blobs) + 1, dtype="<i8")
+        if blobs:
+            np.cumsum([len(b) for b in blobs], out=offsets[1:])
+        heap = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+        freeze(pres, offsets, heap)
+        return cls(pres, offsets, heap)
+
+    def __len__(self) -> int:
+        return len(self.pres)
+
+    def get(self, pre: int, default: str | None = None) -> str | None:
+        i = int(np.searchsorted(self.pres, pre))
+        if i == len(self.pres) or self.pres[i] != pre:
+            return default
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        return bytes(self.heap[lo:hi]).decode("utf-8")
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.pres.nbytes + self.offsets.nbytes
+                   + self.heap.nbytes)
+
+
 class ShreddedDocument:
     """Column representation of one fragment; pre rank is the row number.
 
-    Built from a stored :class:`Document` (the classical shred) or — via
-    :func:`shred_fragment` — from a constructed orphan subtree, which is
-    numbered locally with the same scheme ``Document.renumber`` uses
-    (attributes directly after their element, counted in the subtree
-    size).  ``node_by_pre`` maps result pre ranks back to DOM nodes for
-    either origin.
+    Built from a stored :class:`Document` (the classical shred), from a
+    constructed orphan subtree via :func:`shred_fragment`, or — through
+    :meth:`from_columns` — straight from previously materialized columns
+    (typically ``np.memmap`` views of a store file, in which case the
+    DOM does not exist yet and is parsed only if a caller asks for
+    nodes).  ``node_by_pre`` maps result pre ranks back to DOM nodes for
+    any origin.
     """
 
     def __init__(self, document: Document | None, *,
@@ -53,10 +113,15 @@ class ShreddedDocument:
             document.renumber()
             nodes = document.all_nodes()
         n = len(nodes)
-        self.document = document
+        self._document = document
         #: The fragment root: the document itself, or the orphan
         #: subtree's top node for constructed fragments.
-        self.root = root if root is not None else document
+        self._root = root if root is not None else document
+        #: Parses the owning document on demand (store-backed shreds).
+        self._doc_factory = None
+        #: ``(store path, uri)`` once the columns are store-backed —
+        #: the handle worker processes use to re-open the same file.
+        self._store_ref: tuple[str, str] | None = None
         # Stored documents already cache their pre -> node list; only
         # orphan fragments need the snapshot kept here.
         self._nodes = None if document is not None else nodes
@@ -96,6 +161,8 @@ class ShreddedDocument:
         self._name_ids = name_ids
         self.name = name_col
         self.values = values
+        freeze(self.pre, self.size, self.level, self.kind, self.parent,
+               self.name)
 
         # element-name index: name id -> sorted pre array
         element_mask = self.kind == Element.kind
@@ -111,7 +178,66 @@ class ShreddedDocument:
             for chunk, nid in zip(
                     np.split(el_pres, boundaries),
                     el_names[np.concatenate(([0], boundaries))]):
-                self._element_index[int(nid)] = np.sort(chunk)
+                entry = np.sort(chunk)
+                freeze(entry)
+                self._element_index[int(nid)] = entry
+
+    @classmethod
+    def from_columns(cls, *, pre: np.ndarray, size: np.ndarray,
+                     level: np.ndarray, kind: np.ndarray,
+                     parent: np.ndarray, name: np.ndarray,
+                     names: list[str], values,
+                     element_index: dict[int, np.ndarray],
+                     document: Document | None = None,
+                     doc_factory=None,
+                     store_ref: tuple[str, str] | None = None
+                     ) -> "ShreddedDocument":
+        """Rebuild a shred from previously materialized columns.
+
+        The storage layer's constructor: no DOM walk, no index build.
+        *values* is a :class:`StringHeap` (or a plain dict); when
+        *document* is absent, *doc_factory* supplies it lazily the
+        first time node decoding is requested.
+        """
+        self = object.__new__(cls)
+        self._document = document
+        self._root = document
+        self._doc_factory = doc_factory if document is None else None
+        self._store_ref = store_ref
+        self._nodes = None
+        self.pre = pre
+        self.size = size
+        self.level = level
+        self.kind = kind
+        self.parent = parent
+        self.name = name
+        self.names = list(names)
+        self._name_ids = {nm: i for i, nm in enumerate(self.names)}
+        self.values = values
+        self._kind_pres = {}
+        self._non_attribute = None
+        self._element_index = dict(element_index)
+        freeze(self.pre, self.size, self.level, self.kind, self.parent,
+               self.name)
+        return self
+
+    @property
+    def document(self) -> Document | None:
+        """The owning document; parsed on demand for store-backed
+        shreds (the columns never need it — only node decoding does)."""
+        if self._document is None and self._doc_factory is not None:
+            factory, self._doc_factory = self._doc_factory, None
+            self._document = factory()
+        return self._document
+
+    @property
+    def root(self) -> Node | None:
+        return self._root if self._root is not None else self.document
+
+    @property
+    def store_ref(self) -> tuple[str, str] | None:
+        """``(store path, uri)`` when the columns are mmap-backed."""
+        return self._store_ref
 
     def __len__(self) -> int:
         return len(self.pre)
@@ -140,11 +266,32 @@ class ShreddedDocument:
         """Sorted pre ranks of all element nodes."""
         return self.pre[self.kind == Element.kind]
 
+    def elements_matching(self, name: str) -> np.ndarray:
+        """Sorted pre ranks of the elements a *name test* matches.
+
+        A name test accepts an element whenever the local names agree,
+        so the pool is the union of the element-index entries sharing
+        the test's local name — one entry in the common unprefixed
+        case.  The single pool-resolution routine shared by the bulk
+        evaluator and the process-pool executor's workers: both sides
+        must derive byte-identical pools from the same columns.
+        """
+        local = name.rpartition(":")[2]
+        chunks = [self.elements_named(tag) for tag in self.names
+                  if tag.rpartition(":")[2] == local]
+        chunks = [c for c in chunks if len(c)]
+        if not chunks:
+            return self.elements_named(name)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.sort(np.concatenate(chunks))
+
     def pres_of_kind(self, kind: int) -> np.ndarray:
         """Sorted pre ranks of the nodes of one kind (cached)."""
         cached = self._kind_pres.get(kind)
         if cached is None:
             cached = self.pre[self.kind == kind]
+            freeze(cached)
             self._kind_pres[kind] = cached
         return cached
 
@@ -153,7 +300,9 @@ class ShreddedDocument:
         ``node()`` candidate pool of the tree axes, where attributes are
         never principal nodes."""
         if self._non_attribute is None:
-            self._non_attribute = self.pre[self.kind != Attr.kind]
+            pool = self.pre[self.kind != Attr.kind]
+            freeze(pool)
+            self._non_attribute = pool
         return self._non_attribute
 
     def post(self) -> np.ndarray:
@@ -164,10 +313,12 @@ class ShreddedDocument:
     def nbytes(self) -> int:
         """Approximate column footprint (shred-cache budgeting): the
         numeric columns plus the attribute/text value strings."""
+        values = self.values
+        value_bytes = (values.nbytes if isinstance(values, StringHeap)
+                       else sum(len(v) for v in values.values()))
         return int(self.pre.nbytes + self.size.nbytes + self.level.nbytes
                    + self.kind.nbytes + self.parent.nbytes
-                   + self.name.nbytes
-                   + sum(len(v) for v in self.values.values()))
+                   + self.name.nbytes + value_bytes)
 
     def rebound(self, nodes: list[Node], root: Node
                 ) -> "ShreddedDocument":
@@ -180,8 +331,10 @@ class ShreddedDocument:
         merely hash alike.
         """
         clone = object.__new__(ShreddedDocument)
-        clone.document = None
-        clone.root = root
+        clone._document = None
+        clone._root = root
+        clone._doc_factory = None
+        clone._store_ref = None
         clone._nodes = nodes
         clone.pre = self.pre
         clone.size = self.size

@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.config import DEFAULT_CONFIG, StandoffConfig
+from repro.config import (
+    DEFAULT_CONFIG,
+    STORAGE_MMAP,
+    StandoffConfig,
+    normalize_storage_backend,
+)
 from repro.core.region import Area, Region
 from repro.core.region_index import RegionIndex
 from repro.errors import RegionError, ReproError
@@ -80,12 +85,28 @@ def _check(start, end, node: Element) -> None:
 
 
 class StoredDocument:
-    """A document plus its derived structures."""
+    """A document plus its derived structures, behind a storage seam.
 
-    def __init__(self, document: Document):
-        self.document = document
+    Under the default ``memory`` backend the shredded columns and region
+    indexes are plain in-process arrays built on first use.  Under the
+    ``mmap`` backend (``REPRO_STORAGE=mmap``, or ``storage_backend=``
+    on the owning :class:`DocumentStore`/``Database``) the columns are
+    *spilled* once to a store file (:mod:`repro.storage`) and mapped
+    back — byte-identical answers, but the columns become shareable
+    read-only pages that worker processes can re-open by path.
+    """
+
+    def __init__(self, document: Document | None, *,
+                 storage_backend: str | None = None):
+        self._document = document
         self._shredded: ShreddedDocument | None = None
         self._region_indexes: dict[StandoffConfig, RegionIndex] = {}
+        self.storage_backend = normalize_storage_backend(storage_backend)
+        self._spill_path: str | None = None
+
+    @property
+    def document(self) -> Document:
+        return self._document
 
     @property
     def doc_id(self) -> int:
@@ -98,16 +119,45 @@ class StoredDocument:
     @property
     def shredded(self) -> ShreddedDocument:
         if self._shredded is None:
-            self._shredded = shred(self.document)
+            if self.storage_backend == STORAGE_MMAP:
+                self._ensure_spilled()
+            else:
+                self._shredded = shred(self.document)
         return self._shredded
 
     def region_index(self, config: StandoffConfig = DEFAULT_CONFIG
                      ) -> RegionIndex:
         index = self._region_indexes.get(config)
         if index is None:
+            if self.storage_backend == STORAGE_MMAP \
+                    and config == DEFAULT_CONFIG:
+                self._ensure_spilled()
+                index = self._region_indexes.get(config)
+                if index is not None:
+                    return index
             index = RegionIndex.build(extract_regions(self.document, config))
             self._region_indexes[config] = index
         return index
+
+    def _ensure_spilled(self) -> None:
+        """Round-trip the derived structures through a spill store.
+
+        The shred and default region table are computed once, written
+        to a store file, and re-opened memory-mapped; the in-memory DOM
+        is kept for node decoding.  Custom standoff configs still build
+        in memory (the store persists the default config's table).
+        """
+        if self._spill_path is not None:
+            return
+        from repro import storage
+
+        path, reader = storage.spill_document(self.document)
+        self._spill_path = path
+        self._shredded = reader.shredded(self.uri,
+                                         document=self.document)
+        if reader.has_regions(self.uri):
+            self._region_indexes[DEFAULT_CONFIG] = \
+                reader.region_index(self.uri)
 
     def area_of_node(self, pre: int,
                      config: StandoffConfig = DEFAULT_CONFIG) -> Area | None:
@@ -121,22 +171,33 @@ class StoredDocument:
         indexes are rebuilt lazily on next use.  This is the
         *per-document* maintenance cost the paper's §3.3 design keeps
         local (contrast: the store-level global index rebuilds whole).
+        A spilled store file is stale after an update and is dropped
+        (the next use spills afresh).
         """
         self.document.renumber()
         self._shredded = None
         self._region_indexes.clear()
+        if self._spill_path is not None:
+            try:
+                import os
+
+                os.unlink(self._spill_path)
+            except OSError:
+                pass
+            self._spill_path = None
 
 
 class DocumentStore:
     """All documents known to a database instance, keyed by URI."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, storage_backend: str | None = None) -> None:
         self._by_uri: dict[str, StoredDocument] = {}
         self._by_id: dict[int, StoredDocument] = {}
         self._next_id = 1
         #: bumped on every add/remove; global index caches key on it
         self.version = 0
         self._global_indexes: dict = {}
+        self.storage_backend = normalize_storage_backend(storage_backend)
 
     def add(self, uri: str, xml: str | Document, *,
             keep_whitespace_text: bool = False) -> StoredDocument:
@@ -153,9 +214,26 @@ class DocumentStore:
                 xml, uri=uri, doc_id=self._next_id,
                 keep_whitespace_text=keep_whitespace_text)
         self._next_id += 1
-        stored = StoredDocument(document)
+        stored = StoredDocument(document,
+                                storage_backend=self.storage_backend)
         self._by_uri[uri] = stored
         self._by_id[document.doc_id] = stored
+        self.version += 1
+        return stored
+
+    def register(self, stored: StoredDocument) -> StoredDocument:
+        """Register an externally constructed stored document.
+
+        The seam :func:`repro.storage.open_store` uses: a
+        ``MappedStoredDocument`` carries its uri/doc id in the store
+        header, so registration stays O(1) — no parse, no shred.
+        """
+        uri = stored.uri
+        if uri in self._by_uri:
+            raise ReproError(f"document {uri!r} already stored")
+        self._by_uri[uri] = stored
+        self._by_id[stored.doc_id] = stored
+        self._next_id = max(self._next_id, stored.doc_id + 1)
         self.version += 1
         return stored
 

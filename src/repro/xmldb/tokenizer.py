@@ -77,6 +77,21 @@ class Tokenizer:
             raise self._error(f"invalid name {name!r}", start)
         return name
 
+    def _unescape(self, raw: str) -> str:
+        """Expand references in *raw*, resolving line/col lazily.
+
+        ``unescape`` is the identity for text without ``&``, so the
+        O(prefix) ``_line_col`` scan (``str.count`` over everything
+        before ``pos``) is only paid when a reference — or a
+        well-formedness error — can actually occur.  Computing it
+        unconditionally made parsing quadratic in document size (one
+        full-prefix scan per attribute value and text chunk).
+        """
+        if "&" not in raw:
+            return raw
+        line, col = self._line_col()
+        return unescape(raw, line, col)
+
     # -- token productions --------------------------------------------------
 
     def _read_attributes(self) -> tuple[list[tuple[str, str]], bool]:
@@ -107,8 +122,7 @@ class Tokenizer:
             raw = self._read_until(quote, "attribute value")
             if "<" in raw:
                 raise self._error("'<' not allowed in attribute value")
-            line, col = self._line_col()
-            attrs.append((name, unescape(raw, line, col)))
+            attrs.append((name, self._unescape(raw)))
 
     def tokens(self) -> Iterator[Event]:
         """Yield events for the whole input."""
@@ -118,14 +132,13 @@ class Tokenizer:
                 chunk = self.text[self.pos:]
                 self.pos = self.n
                 if chunk:
-                    line, col = self._line_col()
-                    yield ("text", unescape(chunk, line, col))
+                    yield ("text", self._unescape(chunk))
                 return
             if lt > self.pos:
                 chunk = self.text[self.pos:lt]
-                line, col = self._line_col()
+                text = self._unescape(chunk)
                 self.pos = lt
-                yield ("text", unescape(chunk, line, col))
+                yield ("text", text)
             # self.pos is at '<'
             nxt = self.text[self.pos + 1] if self.pos + 1 < self.n else ""
             if nxt == "/":

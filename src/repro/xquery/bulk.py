@@ -507,17 +507,12 @@ def _elements_matching_name(shredded, name: str):
     :func:`~repro.xquery.axes.matches_test` accepts an element whenever
     the local names agree (``tag == name`` implies that), so the pool
     is the union of the element-index entries sharing the test's local
-    name — one entry in the common unprefixed case.
+    name — one entry in the common unprefixed case.  Delegates to
+    :meth:`~repro.xmldb.shred.ShreddedDocument.elements_matching` so
+    process-pool workers resolving a ``("name", ...)`` candidate
+    descriptor run the identical pool computation.
     """
-    local = name.rpartition(":")[2]
-    chunks = [shredded.elements_named(tag) for tag in shredded.names
-              if tag.rpartition(":")[2] == local]
-    chunks = [c for c in chunks if len(c)]
-    if not chunks:
-        return shredded.elements_named(name)
-    if len(chunks) == 1:
-        return chunks[0]
-    return np.sort(np.concatenate(chunks))
+    return shredded.elements_matching(name)
 
 
 def _staircase_candidates(shredded, test: ast.NodeTest):
@@ -541,6 +536,31 @@ def _staircase_candidates(shredded, test: ast.NodeTest):
     if test.kind == "processing-instruction":
         return shredded.pres_of_kind(ProcessingInstruction.kind)
     return _UNSUPPORTED_TEST
+
+
+def _staircase_candidate_desc(test: ast.NodeTest) -> tuple | None:
+    """The picklable descriptor of :func:`_staircase_candidates`'s pool.
+
+    Mirrors its dispatch case for case; process-pool workers resolve
+    the descriptor against their mapped shred
+    (:func:`repro.exec.procpool.resolve_staircase_pool`) through the
+    same :class:`ShreddedDocument` routines, so parent and worker see
+    element-for-element identical pools without shipping the array.
+    ``None`` (unsupported test) keeps the join on the thread path.
+    """
+    if test.kind == "name":
+        if test.name == "*":
+            return ("all-elements",)
+        return ("name", test.name)
+    if test.kind == "node":
+        return ("non-attr",)
+    if test.kind == "text":
+        return ("kind", Text.kind)
+    if test.kind == "comment":
+        return ("kind", Comment.kind)
+    if test.kind == "processing-instruction":
+        return ("kind", ProcessingInstruction.kind)
+    return None
 
 
 def _tie_prone(env: BulkEnv, context: IterSeq,
@@ -608,12 +628,16 @@ def _staircase_axis_step(step: ast.AxisStep, env: BulkEnv,
             return None
         cand_by_key[key] = candidates
 
+    desc = _staircase_candidate_desc(step.test)
+
     def join(shredded, rows, candidates):
         return staircase_join(
             axis, shredded, rows, candidates, or_self=or_self,
             kernel=env.ctx.staircase_kernel,
             workers=env.ctx.workers,
-            shard_min_rows=env.ctx.shard_min_rows)
+            shard_min_rows=env.ctx.shard_min_rows,
+            executor=env.ctx.executor,
+            candidate_desc=desc)
 
     # document_order sorts by (doc id, pre), stable on ties — and two
     # *transient* fragments (orphan subtrees or unstored documents) can
@@ -959,12 +983,16 @@ def _staircase_positional_step(step: ast.AxisStep, env: BulkEnv,
             return None
         cand_by_key[key] = candidates
 
+    desc = _staircase_candidate_desc(step.test)
+
     def filtered_join(key, rows):
         result = staircase_join(
             axis, shreds[key], rows, cand_by_key[key], or_self=or_self,
             kernel=env.ctx.staircase_kernel,
             workers=env.ctx.workers,
-            shard_min_rows=env.ctx.shard_min_rows)
+            shard_min_rows=env.ctx.shard_min_rows,
+            executor=env.ctx.executor,
+            candidate_desc=desc)
         if not isinstance(result, ColumnarResult):
             result = ColumnarResult.from_dict(result)
         offsets, values = _apply_positional_chain(

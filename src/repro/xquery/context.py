@@ -7,7 +7,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.config import DEFAULT_KERNEL, DEFAULT_SHARD_MIN_ROWS, \
     DEFAULT_STAIRCASE_KERNEL, DEFAULT_WORKERS, STANDOFF_OPTION_NAMES, \
-    StandoffConfig, normalize_workers
+    StandoffConfig, normalize_executor, normalize_workers
 from repro.core.region_index import RegionIndex
 from repro.core.steps import Strategy
 from repro.errors import XQueryDynamicError, XQueryStaticError
@@ -88,7 +88,8 @@ class DynamicContext:
                  kernel: str = DEFAULT_KERNEL,
                  staircase_kernel: str = DEFAULT_STAIRCASE_KERNEL,
                  workers=DEFAULT_WORKERS,
-                 shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS):
+                 shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
+                 executor: str | None = None):
         from repro.xmldb.blob import BlobStore
 
         self.store = store
@@ -109,6 +110,10 @@ class DynamicContext:
             raise ValueError(
                 f"shard_min_rows must be >= 1, got {shard_min_rows}")
         self.shard_min_rows = shard_min_rows
+        #: shard executor: "thread" (shared pool) or "process"
+        #: (store-backed jobs fan out to worker processes that re-open
+        #: the memory-mapped store; non-store jobs fall back to threads)
+        self.executor = normalize_executor(executor)
         #: name-test pushdown policy: "always" | "never" | "auto"
         self.pushdown = "always"
         self.variables: dict[str, Sequence] = {}
@@ -142,6 +147,7 @@ class DynamicContext:
         ctx.staircase_kernel = self.staircase_kernel
         ctx.workers = self.workers
         ctx.shard_min_rows = self.shard_min_rows
+        ctx.executor = self.executor
         ctx.pushdown = self.pushdown
         ctx.variables = dict(self.variables)
         ctx.focus = self.focus

@@ -136,10 +136,11 @@ class PlanCache:
 class Database:
     """An in-memory XML database with the StandOff XQuery extensions."""
 
-    def __init__(self, *, plan_cache_size: int | None = None) -> None:
+    def __init__(self, *, plan_cache_size: int | None = None,
+                 storage_backend: str | None = None) -> None:
         from repro.xmldb.blob import BlobStore
 
-        self.store = DocumentStore()
+        self.store = DocumentStore(storage_backend=storage_backend)
         self.blobs = BlobStore()
         #: Compiled-plan LRU (``plan_cache_size=0`` disables; default
         #: from ``REPRO_PLAN_CACHE``).
@@ -210,6 +211,7 @@ class Database:
               staircase_kernel: str = DEFAULT_STAIRCASE_KERNEL,
               workers=DEFAULT_WORKERS,
               shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
+              executor: str | None = None,
               context_uri: str | None = None,
               variables: dict | None = None) -> QueryResult:
         """Parse and evaluate a query.
@@ -271,7 +273,8 @@ class Database:
                              blobs=self.blobs, kernel=kernel,
                              staircase_kernel=staircase_kernel,
                              workers=workers,
-                             shard_min_rows=shard_min_rows)
+                             shard_min_rows=shard_min_rows,
+                             executor=executor)
         ctx.pushdown = pushdown
         if variables:
             for name, value in variables.items():

@@ -156,7 +156,8 @@ def _run(ctx: DynamicContext, op: StandoffOp,
                         fragment_rank=fragment_rank,
                         workers=getattr(ctx, "workers", DEFAULT_WORKERS),
                         shard_min_rows=getattr(ctx, "shard_min_rows",
-                                               DEFAULT_SHARD_MIN_ROWS))
+                                               DEFAULT_SHARD_MIN_ROWS),
+                        executor=getattr(ctx, "executor", None))
     infos = {key: info
              for key, (info, _pres) in context_by_fragment.items()}
 

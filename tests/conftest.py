@@ -1,0 +1,24 @@
+"""Shared test fixtures.
+
+The mmap storage backend (``REPRO_STORAGE=mmap``) spills every loaded
+document's columns to a store file.  Point the spill directory at a
+pytest-managed temp dir for the whole session so tier-1 runs under the
+mmap backend never leave stray files behind, and so worker processes
+(which inherit the environment) map stores from the same place.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def storage_spill_dir(tmp_path_factory):
+    old = os.environ.get("REPRO_STORAGE_DIR")
+    path = str(tmp_path_factory.mktemp("repro-stores"))
+    os.environ["REPRO_STORAGE_DIR"] = path
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_STORAGE_DIR", None)
+    else:
+        os.environ["REPRO_STORAGE_DIR"] = old

@@ -5,7 +5,12 @@ path/predicate queries; the loop-lifted engine must agree *exactly*
 (serialized output) with the DOM-walk oracle — the ``basic`` strategy's
 iterative evaluator — for every kernel choice crossed with
 ``workers`` ∈ {serial, 4} (``shard_min_rows=1`` forces the fan-out
-path even on these small documents).
+path even on these small documents).  The PR 8 matrix extends the
+cross with ``executor`` ∈ {thread, process} × storage backend ∈
+{memory, mmap}: process-pool workers re-open the memory-mapped store
+and re-derive their candidate pools, and memory-backed documents
+degrade the process executor to threads — none of which may change a
+single serialized byte.
 
 Beyond the stored-document paths, dedicated fuzz targets pin the
 corners that previously fell off the kernel path: the sibling axes
@@ -405,6 +410,78 @@ def test_merged_text_node_siblings():
                            staircase_kernel=kernel, workers=4,
                            shard_min_rows=1).serialize()
             assert got == oracle, (query, kernel)
+
+
+#: The executor/backend cross (PR 8): the process-pool executor over
+#: memory-mapped stores may change where shards run, never what they
+#: compute.  Memory-backed documents have no store file, so the process
+#: executor degrades to threads there — that degradation must be
+#: answer-invisible too.
+EXECUTORS_UNDER_TEST = ("thread", "process")
+BACKENDS_UNDER_TEST = ("memory", "mmap")
+
+
+def test_fuzz_executor_backend_matrix(seed=10400):
+    """Every kernel × workers × executor × storage backend combination
+    must serialize identically to the serial in-memory oracle — the
+    PR 8 acceptance matrix, on randomized trees and queries."""
+    rng = random.Random(seed)
+    xml = random_xml(rng, max_nodes=60)
+    queries = [random_query(rng) for _ in range(3)]
+    queries.append('doc("f.xml")/r/descendant::*'
+                   '/following-sibling::node()')
+    databases = {}
+    for backend in BACKENDS_UNDER_TEST:
+        db = Database(storage_backend=backend)
+        db.add_document("f.xml", xml)
+        databases[backend] = db
+    oracle_db = databases["memory"]
+    for query in queries:
+        oracle = oracle_db.query(query, strategy="basic").serialize()
+        for backend, db in databases.items():
+            for kernel in KERNELS_UNDER_TEST:
+                for workers in WORKERS_UNDER_TEST:
+                    for executor in EXECUTORS_UNDER_TEST:
+                        got = db.query(
+                            query, strategy="ll", kernel=kernel,
+                            staircase_kernel=kernel, workers=workers,
+                            shard_min_rows=1,
+                            executor=executor).serialize()
+                        assert got == oracle, (seed, query, backend,
+                                               kernel, workers,
+                                               executor)
+
+
+def test_fuzz_standoff_executor_matrix(seed=10500):
+    """StandOff joins under the full executor × backend cross — the
+    process path re-derives candidate pushdowns worker-side, which must
+    be invisible in the answers."""
+    rng = random.Random(seed)
+    parts = []
+    for _i in range(30):
+        start = rng.randrange(150)
+        end = start + rng.randrange(1, 40)
+        parts.append(f'<music start="{start}" end="{end}">'
+                     f'<shot start="{start + 1}" end="{end}"/></music>')
+    xml = f"<doc>{''.join(parts)}</doc>"
+    databases = {}
+    for backend in BACKENDS_UNDER_TEST:
+        db = Database(storage_backend=backend)
+        db.add_document("v.xml", xml)
+        databases[backend] = db
+    for op in ("select-wide", "reject-narrow"):
+        query = (f'for $m in doc("v.xml")//music '
+                 f'return count($m/{op}::shot)')
+        oracle = databases["memory"].query(
+            query, strategy="basic").serialize()
+        for backend, db in databases.items():
+            for kernel in KERNELS_UNDER_TEST:
+                for executor in EXECUTORS_UNDER_TEST:
+                    got = db.query(query, strategy="ll", kernel=kernel,
+                                   workers=4, shard_min_rows=1,
+                                   executor=executor).serialize()
+                    assert got == oracle, (seed, op, backend, kernel,
+                                           executor)
 
 
 def test_serial_byte_identical_to_unsharded_columnar():

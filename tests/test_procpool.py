@@ -1,0 +1,181 @@
+"""The process-pool executor: real processes, identical answers.
+
+The executor knob may only change *where* shards run, never what they
+compute.  These tests pin:
+
+* that the pool really is other processes (worker PIDs differ);
+* that the store-backed staircase dispatch actually routes through
+  :mod:`repro.exec.procpool` — and returns arrays byte-identical to
+  the serial call;
+* engine-level answer parity for process vs thread vs serial across
+  backends, including the graceful thread fallback when a document has
+  no store behind it (memory backend, constructed fragments).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import storage
+from repro.exec import procpool
+from repro.staircase.kernels_vec import staircase_join
+from repro.xquery.engine import Database
+
+WORKERS = 2
+
+XML = "<doc>" + "".join(
+    f"<s id='{i}' start='{i * 10}' end='{i * 10 + 9}'>"
+    + "".join(f"<w start='{i * 10 + j}' end='{i * 10 + j}'>t{j}</w>"
+              for j in range(6))
+    + "</s>" for i in range(120)) + "</doc>"
+
+QUERIES = (
+    "for $s in doc('d.xml')//s return count($s/following::w)",
+    "for $s in doc('d.xml')//s return count($s/preceding::w)",
+    "doc('d.xml')//s[@id='7']/descendant::w",
+    "for $w in doc('d.xml')//w[@start < 40] "
+    "return standoff:select-wide(doc('d.xml')//s, $w)",
+    "for $s in doc('d.xml')//s[position() < 20] "
+    "return count($s/reject-narrow::w)",
+)
+
+
+def build(backend):
+    db = Database(storage_backend=backend)
+    db.add_document("d.xml", XML)
+    return db
+
+
+def test_workers_are_separate_processes():
+    pids = procpool.worker_pids(WORKERS)
+    assert pids
+    assert os.getpid() not in pids
+
+
+def test_store_backed_staircase_roundtrip(tmp_path):
+    """The direct procpool staircase path must match the serial call
+    array-for-array."""
+    path = str(tmp_path / "d.repro")
+    storage.save_store(path, build("memory"))
+    sh = storage.StoreReader(path).shredded("d.xml")
+    assert sh.store_ref is not None
+    context = [(it, pre) for it, pre in
+               enumerate(sh.all_element_pres().tolist()[:80])]
+    for axis, desc in (("following", ("name", "w")),
+                       ("preceding", ("name", "w")),
+                       ("descendant", ("non-attr",)),
+                       ("child", ("all-elements",))):
+        pool = procpool.resolve_staircase_pool(sh, desc)
+        serial = staircase_join(axis, sh, context, pool,
+                                kernel="vectorized", workers="serial")
+        via_procs = staircase_join(axis, sh, context, pool,
+                                   kernel="vectorized", workers=WORKERS,
+                                   shard_min_rows=1, executor="process",
+                                   candidate_desc=desc)
+        assert np.array_equal(serial.iters, via_procs.iters), axis
+        assert np.array_equal(serial.offsets, via_procs.offsets), axis
+        assert np.array_equal(serial.values, via_procs.values), axis
+
+
+def test_process_dispatch_actually_engages(monkeypatch):
+    """Under the mmap backend the staircase fan-out must really route
+    through the process pool (not silently fall back to threads)."""
+    calls = []
+    real = procpool.run_staircase
+
+    def spy(*args, **kwargs):
+        calls.append(args[0])
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(procpool, "run_staircase", spy)
+    db = build("mmap")
+    db.query("for $s in doc('d.xml')//s return count($s/following::w)",
+             strategy="ll", staircase_kernel="vectorized",
+             workers=WORKERS, shard_min_rows=1, executor="process")
+    assert "following" in calls
+
+
+def test_memory_backend_falls_back_to_threads(monkeypatch):
+    """No store behind the document: the process executor must degrade
+    to the thread path — same answers, no crash, no process dispatch."""
+
+    def boom(*_args, **_kwargs):  # pragma: no cover - must not run
+        raise AssertionError("process dispatch without a store")
+
+    monkeypatch.setattr(procpool, "run_staircase", boom)
+    monkeypatch.setattr(procpool, "run_standoff", boom)
+    db = build("memory")
+    for query in QUERIES:
+        want = db.query(query, strategy="ll",
+                        workers="serial").serialize()
+        got = db.query(query, strategy="ll", workers=WORKERS,
+                       shard_min_rows=1,
+                       executor="process").serialize()
+        assert got == want, query
+
+
+@pytest.mark.parametrize("backend", ["memory", "mmap"])
+def test_engine_parity_across_executors(backend):
+    db = build(backend)
+    reference = build("memory")
+    for query in QUERIES:
+        want = reference.query(query, workers="serial").serialize()
+        for executor in ("thread", "process"):
+            got = db.query(query, strategy="ll", workers=WORKERS,
+                           shard_min_rows=1,
+                           executor=executor).serialize()
+            assert got == want, (backend, executor, query)
+
+
+def test_standoff_process_path(tmp_path):
+    """StandOff joins over an opened store: the region indexes carry
+    store refs, so the process path engages end to end."""
+    path = str(tmp_path / "d.repro")
+    storage.save_store(path, build("memory"))
+    db = storage.open_store(path)
+    reference = build("memory")
+    query = ("for $w in doc('d.xml')//w "
+             "return standoff:select-wide(doc('d.xml')//s, $w)")
+    want = reference.query(query, workers="serial").serialize()
+    got = db.query(query, strategy="ll", workers=WORKERS,
+                   shard_min_rows=1, executor="process").serialize()
+    assert got == want
+
+
+def test_shared_memory_transport_roundtrip(tmp_path, monkeypatch):
+    """Forcing every result through the shared-memory transport (the
+    large-result path) must not change a single array element, and the
+    segments must be unlinked once the merge is done."""
+    monkeypatch.setattr(procpool, "SHM_MIN_BYTES", 0)
+    path = str(tmp_path / "d.repro")
+    storage.save_store(path, build("memory"))
+    sh = storage.StoreReader(path).shredded("d.xml")
+    context = [(it, pre) for it, pre in
+               enumerate(sh.all_element_pres().tolist()[:80])]
+    desc = ("name", "w")
+    pool = procpool.resolve_staircase_pool(sh, desc)
+    serial = staircase_join("following", sh, context, pool,
+                            kernel="vectorized", workers="serial")
+    via_shm = staircase_join("following", sh, context, pool,
+                             kernel="vectorized", workers=WORKERS,
+                             shard_min_rows=1, executor="process",
+                             candidate_desc=desc)
+    assert np.array_equal(serial.iters, via_shm.iters)
+    assert np.array_equal(serial.offsets, via_shm.offsets)
+    assert np.array_equal(serial.values, via_shm.values)
+    leftovers = [name for name in os.listdir("/dev/shm")
+                 if name.startswith("psm_")] \
+        if os.path.isdir("/dev/shm") else []
+    assert not leftovers, leftovers
+
+
+def test_executor_validation():
+    db = build("memory")
+    with pytest.raises(ValueError, match="executor"):
+        db.query("1 + 1", executor="carrier-pigeon")
+
+
+def test_warm_pool():
+    procpool.warm_pool(WORKERS)
+    assert procpool.worker_pids(WORKERS)

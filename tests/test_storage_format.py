@@ -1,0 +1,289 @@
+"""The on-disk columnar store: round-trips, validation, dtype pinning.
+
+Three concerns share this module:
+
+* **round-trip fidelity** — ``save_store`` / ``open_store`` must hand
+  back a database that answers every query exactly like the in-memory
+  original, off zero-copy mapped columns;
+* **format validation** — a corrupt header, truncated file, wrong
+  magic, or unsupported version must raise the dedicated
+  :class:`repro.errors.StorageFormatError` (never a cryptic NumPy or
+  JSON error), and blob corruption must be caught by ``verify()``;
+* **column invariants** — explicit little-endian dtypes (the on-disk
+  format must not inherit platform defaults) and read-only columns
+  (mapped pages are shared across processes; nothing may write them).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import storage
+from repro.core.region_index import RegionIndex, RegionTable
+from repro.errors import StorageFormatError
+from repro.storage.format import MAGIC, StoreFile
+from repro.xmldb.parser import parse_document
+from repro.xmldb.shred import shred
+from repro.xquery.engine import Database
+
+DOC_A = """<video><music artist="U2" start="10" end="99">\
+<shot start="12" end="20">intro</shot>\
+<shot start="40" end="55"/></music>\
+<!-- annotated stream --><music artist="Moby" start="120" end="180"/>\
+</video>"""
+
+DOC_B = """<r>
+  <a i="1">text <b>nested</b> tail</a>
+  <?pi data?>
+  <a i="2"/>
+</r>"""
+
+QUERIES = (
+    'count(doc("a.xml")//shot)',
+    'doc("a.xml")//music[@artist="U2"]/select-wide::shot',
+    'for $m in doc("a.xml")//music return count($m/reject-narrow::shot)',
+    'doc("b.xml")//a[@i="1"]/descendant-or-self::node()',
+    'doc("b.xml")/r/child::node()/following-sibling::a',
+)
+
+
+def build_db():
+    db = Database()
+    db.add_document("a.xml", DOC_A)
+    db.add_document("b.xml", DOC_B)
+    return db
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    path = str(tmp_path / "docs.repro")
+    storage.save_store(path, build_db())
+    return path
+
+
+# ----------------------------------------------------------------------
+# round-trip
+# ----------------------------------------------------------------------
+
+class TestRoundTrip:
+    def test_queries_identical_after_reopen(self, store_path):
+        original = build_db()
+        reopened = storage.open_store(store_path)
+        for query in QUERIES:
+            want = original.query(query, strategy="basic").serialize()
+            assert reopened.query(query,
+                                  strategy="basic").serialize() == want
+            assert reopened.query(query, strategy="ll",
+                                  workers=4,
+                                  shard_min_rows=1).serialize() == want
+
+    def test_columns_identical_after_reopen(self, store_path):
+        original = build_db()
+        reader = storage.StoreReader(store_path)
+        for uri in ("a.xml", "b.xml"):
+            mine = original.store.get(uri).shredded
+            mapped = reader.shredded(uri)
+            for col in ("pre", "size", "level", "kind", "parent",
+                        "name"):
+                assert np.array_equal(getattr(mine, col),
+                                      getattr(mapped, col)), (uri, col)
+            assert list(mine.names) == list(mapped.names)
+            for pre in mine.pre.tolist():
+                assert mine.value_of(pre) == mapped.value_of(pre)
+
+    def test_region_table_identical_after_reopen(self, store_path):
+        original = build_db()
+        reader = storage.StoreReader(store_path)
+        mine = original.store.get("a.xml").region_index().table
+        mapped = reader.region_index("a.xml").table
+        assert np.array_equal(mine.starts, mapped.starts)
+        assert np.array_equal(mine.ends, mapped.ends)
+        assert np.array_equal(mine.ids, mapped.ids)
+
+    def test_open_is_lazy(self, store_path):
+        """Opening must not parse, shred, or touch column pages."""
+        db = storage.open_store(store_path)
+        for stored in db.store:
+            assert stored._document is None
+            assert stored._shredded is None
+
+    def test_verify_passes_on_clean_store(self, store_path):
+        storage.StoreReader(store_path).verify()
+
+    def test_save_store_path_returned(self, tmp_path):
+        path = str(tmp_path / "out.repro")
+        assert storage.save_store(path, build_db()) == path
+
+    def test_whitespace_document_round_trips(self, tmp_path):
+        """DOC_B has whitespace-only text nodes; the stored reparse
+        flag must reproduce the exact original numbering."""
+        path = str(tmp_path / "ws.repro")
+        db = Database()
+        db.add_document("b.xml", DOC_B)
+        storage.save_store(path, db)
+        reader = storage.StoreReader(path)
+        want = db.store.get("b.xml").shredded
+        got = shred(reader.document("b.xml"))
+        assert np.array_equal(want.kind, got.kind)
+        assert np.array_equal(want.pre, got.pre)
+
+
+# ----------------------------------------------------------------------
+# validation errors
+# ----------------------------------------------------------------------
+
+def _flip(path: str, offset: int, value: bytes) -> None:
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        fh.write(value)
+
+
+class TestValidation:
+    def test_bad_magic(self, store_path):
+        _flip(store_path, 0, b"NOTASTOR")
+        with pytest.raises(StorageFormatError, match="magic"):
+            StoreFile(store_path)
+
+    def test_version_mismatch(self, store_path):
+        _flip(store_path, len(MAGIC), (99).to_bytes(4, "little"))
+        with pytest.raises(StorageFormatError, match="version 99"):
+            StoreFile(store_path)
+
+    def test_corrupt_header_json(self, store_path):
+        _flip(store_path, len(MAGIC) + 12, b"\xff\xff\xff")
+        with pytest.raises(StorageFormatError, match="header"):
+            StoreFile(store_path)
+
+    def test_truncated_prefix(self, store_path):
+        with open(store_path, "r+b") as fh:
+            fh.truncate(10)
+        with pytest.raises(StorageFormatError, match="truncated"):
+            StoreFile(store_path)
+
+    def test_truncated_blobs(self, store_path):
+        size = os.path.getsize(store_path)
+        with open(store_path, "r+b") as fh:
+            fh.truncate(size - 64)
+        with pytest.raises(StorageFormatError, match="truncated"):
+            StoreFile(store_path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageFormatError, match="cannot open"):
+            StoreFile(str(tmp_path / "nope.repro"))
+
+    def test_missing_document(self, store_path):
+        reader = storage.StoreReader(store_path)
+        with pytest.raises(StorageFormatError, match="no document"):
+            reader.shredded("missing.xml")
+
+    def test_corrupt_blob_caught_by_verify(self, store_path):
+        """Blob corruption is invisible to the O(1) open but must fail
+        the explicit checksum pass."""
+        file = StoreFile(store_path)
+        entry = file.header["blobs"]["d0/pre"]
+        del file  # release the mapping before rewriting
+        _flip(store_path, entry["offset"], b"\x7f")
+        reader = storage.StoreReader(store_path)  # opens fine
+        with pytest.raises(StorageFormatError, match="checksum"):
+            reader.verify()
+
+
+# ----------------------------------------------------------------------
+# column invariants
+# ----------------------------------------------------------------------
+
+SHRED_COLUMNS = ("pre", "size", "level", "kind", "parent", "name")
+
+
+class TestColumnInvariants:
+    def test_region_table_dtypes_are_explicit_little_endian(self):
+        """RegionTable must pin '<i8' (and '<f8' for xs:double
+        positions) no matter what dtype the inputs arrive in — the
+        on-disk format inherits these dtypes."""
+        table = RegionTable(np.array([1, 5], dtype=np.int32),
+                            np.array([4, 9], dtype=np.uint16),
+                            np.array([2, 3], dtype=np.int64))
+        assert table.starts.dtype.str == "<i8"
+        assert table.ends.dtype.str == "<i8"
+        assert table.ids.dtype.str == "<i8"
+        doubles = RegionTable(np.array([1.5, 5.0], dtype=np.float32),
+                              np.array([4.0, 9.5]),
+                              np.array([2, 3]))
+        assert doubles.starts.dtype.str == "<f8"
+        assert doubles.ends.dtype.str == "<f8"
+
+    def test_region_index_build_dtypes(self):
+        index = RegionIndex.build([(1, 10, 20), (2, 12, 15)])
+        assert index.table.starts.dtype.str == "<i8"
+        assert index.table.ids.dtype.str == "<i8"
+
+    def test_in_memory_columns_read_only(self):
+        sh = shred(parse_document(DOC_A, uri="a.xml"))
+        for col in SHRED_COLUMNS:
+            assert not getattr(sh, col).flags.writeable, col
+        index = RegionIndex.build([(1, 10, 20), (2, 12, 15)])
+        for col in ("starts", "ends", "ids"):
+            assert not getattr(index.table, col).flags.writeable, col
+
+    def test_mapped_columns_read_only(self, store_path):
+        reader = storage.StoreReader(store_path)
+        sh = reader.shredded("a.xml")
+        for col in SHRED_COLUMNS:
+            assert not getattr(sh, col).flags.writeable, col
+        table = reader.region_index("a.xml").table
+        for col in ("starts", "ends", "ids"):
+            assert not getattr(table, col).flags.writeable, col
+
+    def test_derived_pools_read_only(self):
+        sh = shred(parse_document(DOC_A, uri="a.xml"))
+        assert not sh.non_attribute_pres().flags.writeable
+        assert not sh.pres_of_kind(3).flags.writeable
+
+    def test_mutation_raises(self):
+        sh = shred(parse_document(DOC_A, uri="a.xml"))
+        with pytest.raises(ValueError):
+            sh.pre[0] = 99
+
+
+# ----------------------------------------------------------------------
+# the mmap spill backend
+# ----------------------------------------------------------------------
+
+class TestSpillBackend:
+    def test_spilled_columns_match_memory(self):
+        mem = Database(storage_backend="memory")
+        mm = Database(storage_backend="mmap")
+        for db in (mem, mm):
+            db.add_document("a.xml", DOC_A)
+        a, b = mem.store.get("a.xml").shredded, \
+            mm.store.get("a.xml").shredded
+        assert b.store_ref is not None
+        for col in SHRED_COLUMNS:
+            assert np.array_equal(getattr(a, col), getattr(b, col))
+
+    def test_spill_queries_identical(self):
+        mem = Database(storage_backend="memory")
+        mm = Database(storage_backend="mmap")
+        for db in (mem, mm):
+            db.add_document("a.xml", DOC_A)
+            db.add_document("b.xml", DOC_B)
+        for query in QUERIES:
+            assert mm.query(query).serialize() == \
+                mem.query(query).serialize(), query
+
+    def test_store_stats_reports_backend(self):
+        mm = Database(storage_backend="mmap")
+        mm.add_document("a.xml", DOC_A)
+        mm.store.get("a.xml").shredded  # trigger the spill
+        (row,) = storage.store_stats(mm)
+        assert row["backend"] == "mmap"
+        assert row["file_size"] and row["file_size"] > 0
+
+    def test_update_detaches_from_spill(self):
+        mm = Database(storage_backend="mmap")
+        mm.add_document("a.xml", DOC_A)
+        assert mm.query('count(doc("a.xml")//shot)').serialize() == "2"
+        mm.insert_nodes("a.xml", 'doc("a.xml")//music[@artist="Moby"]',
+                        '<shot start="60" end="70"/>')
+        assert mm.query('count(doc("a.xml")//shot)').serialize() == "3"
