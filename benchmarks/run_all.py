@@ -29,9 +29,12 @@ The ``coldstart.*`` family times serving a saved store (zero-copy
 ``np.memmap`` open) against rebuilding the shred from XML text, and
 ``procpool.*`` pits the process-pool executor against the thread pool
 and the serial reference over store-backed documents
-(``.serial``/``.threads4``/``.procs4`` variants).
+(``.serial``/``.threads4``/``.procs4`` variants).  The ``serving.*``
+family drives a mixed point-lookup/scan workload through the
+concurrent query server and records batch time plus p50/p99
+per-query latency and throughput (see ``benchmarks/README.md``).
 
-Output defaults to ``BENCH_PR8.json`` (``BENCH_SMOKE.json`` with
+Output defaults to ``BENCH_PR9.json`` (``BENCH_SMOKE.json`` with
 ``--smoke``) at the repository root.
 
 **Trajectory comparison**: a full run whose label is ``PR<k>`` is
@@ -60,6 +63,7 @@ import math
 import platform
 import re
 import sys
+import time
 from pathlib import Path
 
 _HERE = Path(__file__).resolve().parent
@@ -106,7 +110,7 @@ AUTO = "auto"
 REQUIRED_SCENARIO_PREFIXES = ("staircase.", "staircase_axes.",
                               "sharding.", "staircase_siblings.",
                               "positional.", "plancache.",
-                              "coldstart.", "procpool.")
+                              "coldstart.", "procpool.", "serving.")
 
 
 class Runner:
@@ -1084,6 +1088,113 @@ def scenario_procpool(r: Runner) -> dict | None:
     return summary
 
 
+def scenario_serving(r: Runner) -> dict | None:
+    """Concurrent query serving through :class:`repro.serve.QueryServer`:
+    a mixed workload — point lookups pipelined with full scans — runs
+    serially (one ``db.query`` after another) and then concurrently
+    through the server's admission control, over one shared XMark
+    database.  The serial/concurrent pair times the whole batch; a
+    separate instrumented pass records per-query wall latency
+    (admission wait included) and reports throughput (qps) plus the
+    p50/p99 latencies as their own scenario records, so trajectory
+    diffs catch tail-latency regressions, not just batch time.
+    Returns the qps/percentile headline at the largest scale."""
+    import asyncio
+
+    from repro.serve import QueryServer
+
+    file = "bench_serving.py"
+    scales = (0.25,) if r.smoke else (0.5, 2.0)
+    concurrency = 8
+    summary = None
+    for scale in scales:
+        names = [f"serving.scale{scale}.mixed.serial",
+                 f"serving.scale{scale}.mixed.concurrent{concurrency}",
+                 f"serving.scale{scale}.latency.p50",
+                 f"serving.scale{scale}.latency.p99"]
+        if not r.any_wanted(*names):
+            continue
+        db, label = _xmark_build(scale)
+        point = ('doc("xmark.xml")//open_auction'
+                 '[@id="open_auction7"]/bidder[1]')
+        scan = ('for $a in doc("xmark.xml")//open_auction '
+                'return count($a/descendant::bidder)')
+        # 6:1 point:scan mix, repeated — the shape admission control
+        # is for (scans must not starve the lookups between them)
+        workload = ([point] * 6 + [scan]) * 4
+        n = len(workload)
+        db.query(point, strategy="ll")     # warm plans + shredding
+        db.query(scan, strategy="ll")
+
+        def run_serial():
+            for q in workload:
+                db.query(q, strategy="ll")
+
+        def run_concurrent():
+            async def go():
+                async with QueryServer(
+                        db=db, max_concurrency=concurrency,
+                        default_timeout=0) as server:
+                    await asyncio.gather(
+                        *(server.query(q) for q in workload))
+            asyncio.run(go())
+
+        serial_s = r.measure(
+            names[0], file, None, n, run_serial,
+            label=f"serving.scale{scale}.mixed[serial]",
+            scale=scale, size=label, queries=n)
+        concurrent_s = r.measure(
+            names[1], file, None, n, run_concurrent,
+            label=f"serving.scale{scale}.mixed"
+                  f"[concurrent{concurrency}]",
+            scale=scale, size=label, queries=n,
+            concurrency=concurrency)
+
+        # one instrumented pass for per-query latency + throughput
+        async def instrumented():
+            async with QueryServer(
+                    db=db, max_concurrency=concurrency,
+                    default_timeout=0) as server:
+                async def timed(q):
+                    t0 = time.perf_counter()
+                    await server.query(q)
+                    return time.perf_counter() - t0
+                t0 = time.perf_counter()
+                latencies = await asyncio.gather(
+                    *(timed(q) for q in workload))
+                return latencies, time.perf_counter() - t0
+
+        latencies, wall = asyncio.run(instrumented())
+        latencies.sort()
+        p50 = latencies[len(latencies) // 2]
+        p99 = latencies[min(len(latencies) - 1,
+                            int(len(latencies) * 0.99))]
+        qps = n / wall if wall > 0 else math.inf
+        for name, seconds in ((names[2], p50), (names[3], p99)):
+            if not r.wanted(name):
+                continue
+            r.records.append({
+                "scenario": name, "file": file, "kernel": None,
+                "n": int(n), "seconds": round(seconds, 6),
+                "repeats": 1, "dnf": False, "scale": scale,
+                "size": label, "queries": n,
+                "concurrency": concurrency,
+                "qps": round(qps, 2),
+            })
+            print(f"  {name:58s} {seconds * 1e3:10.3f}ms", flush=True)
+        if math.isfinite(serial_s) and math.isfinite(concurrent_s):
+            summary = {
+                "scale": scale, "size": label, "queries": n,
+                "concurrency": concurrency,
+                "qps": round(qps, 2),
+                "p50_ms": round(p50 * 1e3, 3),
+                "p99_ms": round(p99 * 1e3, 3),
+                "serial_seconds": round(serial_s, 6),
+                "concurrent_seconds": round(concurrent_s, 6),
+            }
+    return summary
+
+
 SCENARIOS = [
     scenario_region_index,
     scenario_table_joins,
@@ -1220,7 +1331,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="DNF budget seconds per scenario "
                              "(default: 120, smoke: 30)")
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="output JSON path (default: BENCH_PR8.json "
+                        help="output JSON path (default: BENCH_PR9.json "
                              "at the repo root; BENCH_SMOKE.json with "
                              "--smoke)")
     parser.add_argument("--pr", default=None, metavar="LABEL",
@@ -1266,7 +1377,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         out = Path(args.out) if args.out else \
             _ROOT / ("BENCH_SMOKE.json" if args.smoke
-                     else "BENCH_PR8.json")
+                     else "BENCH_PR9.json")
         pr_label = args.pr if args.pr else (
             out.stem[len("BENCH_"):] if out.stem.startswith("BENCH_")
             else out.stem)
@@ -1286,6 +1397,7 @@ def main(argv: list[str] | None = None) -> int:
         plancache_summary = scenario_plancache(runner)
         coldstart_summary = scenario_coldstart(runner)
         procpool_summary = scenario_procpool(runner)
+        serving_summary = scenario_serving(runner)
 
         payload = {
             "schema": "repro-bench-trajectory/1",
@@ -1306,6 +1418,7 @@ def main(argv: list[str] | None = None) -> int:
                 "plancache_headline": plancache_summary,
                 "coldstart_headline": coldstart_summary,
                 "procpool_headline": procpool_summary,
+                "serving_headline": serving_summary,
             },
         }
         out.write_text(json.dumps(payload, indent=2) + "\n",
@@ -1351,6 +1464,14 @@ def main(argv: list[str] | None = None) -> int:
                   f"workers=4 threads on {procpool_summary['axis']} "
                   f"at scale {procpool_summary['scale']} "
                   f"({procpool_summary['size']})")
+        if serving_summary:
+            print(f"serving headline: {serving_summary['qps']} qps, "
+                  f"p50 {serving_summary['p50_ms']}ms / p99 "
+                  f"{serving_summary['p99_ms']}ms over "
+                  f"{serving_summary['queries']} mixed queries at "
+                  f"concurrency {serving_summary['concurrency']}, "
+                  f"scale {serving_summary['scale']} "
+                  f"({serving_summary['size']})")
 
     gate_problems: list[str] = []
     gate_ran = required and not smoke \

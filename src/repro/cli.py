@@ -27,6 +27,16 @@ parsing XML — an O(1) cold start off the memory-mapped columns.
 ``--storage mmap`` spills freshly loaded documents to mapped store
 files, which is what lets ``--executor process`` fan shards out to
 worker processes sharing the column pages.
+
+Serving: ``--serve`` starts a concurrent JSON-lines query server
+(:mod:`repro.serve`) over the loaded documents or opened store
+instead of the REPL::
+
+    python -m repro.cli --store corpus.repro --serve --port 7700
+
+Each request is one JSON object per line (``{"op": "query", "query":
+..., "id": ...}``); responses may arrive out of order and echo the
+request ``id``.
 """
 
 from __future__ import annotations
@@ -294,6 +304,45 @@ class CliSession:
             self.emit(f"error: {error}")
 
 
+def run_serve(session: CliSession, *, host: str, port: int,
+              timeout: float | None,
+              store_path: str | None = None) -> int:
+    """Serve the session's database over TCP until interrupted."""
+    import asyncio
+
+    from repro.serve import QueryServer, serve
+
+    server = QueryServer(db=session.db,
+                         default_timeout=timeout,
+                         strategy=session.strategy,
+                         kernel=session.kernel,
+                         staircase_kernel=session.staircase_kernel,
+                         workers=session.workers,
+                         shard_min_rows=session.shard_min_rows,
+                         executor=session.executor,
+                         prefork=session.executor == "process")
+    # The session already opened the store; hand the path over so a
+    # preforked process pool can warm-map it in every worker.
+    server.store_path = store_path
+
+    async def _serve_forever() -> None:
+        tcp = await serve(server, host=host, port=port)
+        bound = tcp.sockets[0].getsockname()
+        print(f"serving on {bound[0]}:{bound[1]}", flush=True)
+        try:
+            await tcp.serve_forever()
+        finally:
+            tcp.close()
+            await tcp.wait_closed()
+            await server.stop()
+
+    try:
+        asyncio.run(_serve_forever())
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -351,6 +400,19 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="N",
                         help="compiled-plan LRU capacity (0 disables; "
                              "default from REPRO_PLAN_CACHE)")
+    parser.add_argument("--serve", action="store_true",
+                        help="serve concurrent queries over TCP "
+                             "(JSON lines) instead of the REPL")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for --serve "
+                             "(default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0, metavar="PORT",
+                        help="bind port for --serve (0 = pick a free "
+                             "port and print it)")
+    parser.add_argument("--serve-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-query timeout for --serve (default "
+                             "from REPRO_SERVE_TIMEOUT; 0 disables)")
     args = parser.parse_args(argv)
 
     try:
@@ -390,6 +452,11 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+    if args.serve:
+        return run_serve(session, host=args.host, port=args.port,
+                         timeout=args.serve_timeout,
+                         store_path=args.store)
 
     if args.query is not None:
         session.run_query(args.query)

@@ -211,6 +211,39 @@ def normalize_storage_backend(backend) -> str:
 
 
 # ----------------------------------------------------------------------
+# Concurrent query serving (repro.serve)
+# ----------------------------------------------------------------------
+
+#: Total queries a :class:`repro.serve.QueryServer` evaluates at once
+#: (the size of its dispatch thread pool and general admission
+#: semaphore).  ``REPRO_SERVE_CONCURRENCY`` overrides process-wide.
+DEFAULT_SERVE_CONCURRENCY = int(os.environ.get("REPRO_SERVE_CONCURRENCY",
+                                               "8"))
+
+#: Slots of the heavy-query lane.  Queries whose estimated pair budget
+#: reaches :data:`DEFAULT_SERVE_HEAVY_PAIRS` additionally acquire this
+#: (much smaller) semaphore, so a handful of scale-16 scans can never
+#: occupy every general slot and starve the point lookups behind them.
+#: ``REPRO_SERVE_HEAVY_SLOTS`` overrides process-wide.
+DEFAULT_SERVE_HEAVY_SLOTS = int(os.environ.get("REPRO_SERVE_HEAVY_SLOTS",
+                                               "2"))
+
+#: Pair-budget admission threshold: a query estimated to probe at
+#: least this many (context row, candidate) pairs is classified heavy.
+#: The estimate is deliberately coarse (see
+#: :func:`repro.serve.estimate_pair_budget`) — it only has to separate
+#: "scan of a scan" from "point lookup", not predict runtimes.
+#: ``REPRO_SERVE_HEAVY_PAIRS`` overrides process-wide.
+DEFAULT_SERVE_HEAVY_PAIRS = int(os.environ.get("REPRO_SERVE_HEAVY_PAIRS",
+                                               "2000000"))
+
+#: Default per-query timeout (seconds) a server enforces when the
+#: request carries none; ``0`` disables.  ``REPRO_SERVE_TIMEOUT``
+#: overrides process-wide.
+DEFAULT_SERVE_TIMEOUT = float(os.environ.get("REPRO_SERVE_TIMEOUT", "30"))
+
+
+# ----------------------------------------------------------------------
 # Cross-query caches (compiled plans, fragment shreds)
 # ----------------------------------------------------------------------
 

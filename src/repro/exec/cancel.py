@@ -1,0 +1,133 @@
+"""Cooperative query cancellation across the execution layers.
+
+The serving front-end (:mod:`repro.serve`) admits many queries onto the
+shared shard pools; a per-query timeout is only useful if it actually
+stops the query's shard work instead of letting an abandoned scan keep
+burning pool slots.  The engine's execution layers are synchronous and
+thread-hopping, so cancellation is *cooperative*: the caller installs a
+:class:`CancelToken` for the current thread (:func:`cancel_scope`
+around ``Database.query``), and the fan-out wait loops — the thread
+pool (:func:`repro.exec.sharding.run_shards`) and the process pool
+(:mod:`repro.exec.procpool`) — poll it between shard completions,
+cancel the not-yet-started futures, and unwind with
+:class:`QueryCancelled`.
+
+The token travels through a ``threading.local``, not through the call
+signatures: the evaluation stack between ``Database.query`` and a
+shard wait is deep (bulk evaluator, step layer, kernel dispatch) and
+threading an argument through it would touch every layer for a purely
+infrastructural concern.  Shard *worker* threads never see the token —
+only the coordinating thread polls, which is enough: a running shard
+is a bounded batched kernel call, and everything after it is skipped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import TimeoutError as _FutureTimeout
+from contextlib import contextmanager
+
+from repro.errors import ReproError
+
+
+class QueryCancelled(ReproError):
+    """The query's cancel token fired (timeout or explicit cancel)."""
+
+
+#: How often a shard wait loop re-checks the ambient token while a
+#: future is still running.  Coarse on purpose: cancellation latency of
+#: ~50 ms is invisible next to query timeouts measured in seconds, and
+#: the poll only happens while the caller is blocked anyway.
+POLL_INTERVAL = 0.05
+
+
+class CancelToken:
+    """A thread-safe cancellation flag with an optional deadline.
+
+    ``cancel()`` trips it explicitly; a *deadline* (``time.monotonic``
+    timestamp) trips it lazily on the next :meth:`cancelled` check —
+    no timer thread needed, because the only consumers are poll loops.
+    """
+
+    __slots__ = ("_event", "deadline")
+
+    def __init__(self, *, deadline: float | None = None):
+        self._event = threading.Event()
+        self.deadline = deadline
+
+    @classmethod
+    def after(cls, timeout: float | None) -> "CancelToken":
+        """A token that trips *timeout* seconds from now (``None``:
+        never, cancel() only)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        return cls(deadline=deadline)
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    def cancelled(self) -> bool:
+        if self._event.is_set():
+            return True
+        if self.deadline is not None \
+                and time.monotonic() >= self.deadline:
+            self._event.set()
+            return True
+        return False
+
+    def raise_if_cancelled(self) -> None:
+        if self.cancelled():
+            raise QueryCancelled("query cancelled")
+
+
+_AMBIENT = threading.local()
+
+
+def current_token() -> CancelToken | None:
+    """The cancel token installed for the current thread, if any."""
+    return getattr(_AMBIENT, "token", None)
+
+
+@contextmanager
+def cancel_scope(token: CancelToken | None):
+    """Install *token* as the current thread's ambient cancel token.
+
+    Scopes nest (the previous token is restored on exit); ``None``
+    uninstalls for the duration — used by code that must not inherit
+    an enclosing query's token.
+    """
+    previous = getattr(_AMBIENT, "token", None)
+    _AMBIENT.token = token
+    try:
+        yield token
+    finally:
+        _AMBIENT.token = previous
+
+
+def check_cancelled() -> None:
+    """Raise :class:`QueryCancelled` if the ambient token has fired.
+
+    Cheap when no token is installed (one thread-local read), so the
+    inline shard path can afford to call it per job.
+    """
+    token = getattr(_AMBIENT, "token", None)
+    if token is not None:
+        token.raise_if_cancelled()
+
+
+def wait_cancellable(future, token: CancelToken | None,
+                     poll: float = POLL_INTERVAL):
+    """``future.result()`` that honours *token* while blocked.
+
+    With no token this is a plain blocking wait (zero overhead on the
+    non-serving path).  With one, the wait wakes every *poll* seconds
+    to re-check; a fired token raises :class:`QueryCancelled` and the
+    caller is responsible for cancelling/draining its other futures.
+    """
+    if token is None:
+        return future.result()
+    while True:
+        try:
+            return future.result(timeout=poll)
+        except _FutureTimeout:
+            token.raise_if_cancelled()

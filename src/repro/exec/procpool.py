@@ -48,10 +48,12 @@ import multiprocessing
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.exec.cancel import current_token, wait_cancellable
 from repro.exec.sharding import ShardPlan
 from repro.relational.columnar import ColumnarResult, run_starts
 
@@ -83,6 +85,40 @@ def _proc_pool(workers: int) -> ProcessPoolExecutor:
         return pool
 
 
+def _evict_pool(workers: int, pool: ProcessPoolExecutor) -> None:
+    """Drop *pool* from the cache (if still cached) and tear it down."""
+    with _PROC_POOLS_LOCK:
+        if _PROC_POOLS.get(workers) is pool:
+            del _PROC_POOLS[workers]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_with_retry(workers: int, attempt):
+    """Run *attempt(pool)* on the cached pool, surviving pool death.
+
+    A :class:`BrokenProcessPool` (a worker OOM-killed or segfaulted
+    mid-job) permanently poisons a ``ProcessPoolExecutor`` — every
+    later submission fails instantly.  Because the pools here are
+    cached for the life of the process, one dead worker used to turn
+    *every* subsequent ``executor="process"`` query into an error.
+    This wrapper evicts the broken pool from the cache, builds a fresh
+    one, and retries the whole job exactly once; a second breakage
+    propagates (something is systematically killing workers, and
+    retry loops would hide it).
+    """
+    pool = _proc_pool(workers)
+    try:
+        return attempt(pool)
+    except BrokenProcessPool:
+        _evict_pool(workers, pool)
+        fresh = _proc_pool(workers)
+        try:
+            return attempt(fresh)
+        except BrokenProcessPool:
+            _evict_pool(workers, fresh)
+            raise
+
+
 def _shutdown_pools() -> None:
     with _PROC_POOLS_LOCK:
         pools = list(_PROC_POOLS.values())
@@ -99,19 +135,45 @@ def warm_pool(workers: int) -> None:
 
     Benchmarks call this outside the timed section so process-pool
     timings measure the joins, not spawn + import cost (which real
-    deployments amortize over the pool's lifetime anyway).
+    deployments amortize over the pool's lifetime anyway); the serving
+    layer calls it at startup for the same reason.
     """
-    pool = _proc_pool(workers)
-    futures = [pool.submit(_import_engine) for _ in range(workers)]
-    for future in futures:
-        future.result()
+
+    def attempt(pool: ProcessPoolExecutor) -> None:
+        futures = [pool.submit(_import_engine) for _ in range(workers)]
+        for future in futures:
+            future.result()
+
+    _run_with_retry(workers, attempt)
+
+
+def warm_store(workers: int, path: str, uris: tuple[str, ...]) -> None:
+    """Pre-open a published store in the pool's worker processes.
+
+    The serving pre-fork: every worker maps the store file and builds
+    its per-uri facades *before* the first query arrives, so the first
+    process-executor query pays a shard job, not an open + validate.
+    (Submitting ``workers`` blocking jobs spreads them across the idle
+    workers the same way :func:`warm_pool` does.)
+    """
+
+    def attempt(pool: ProcessPoolExecutor) -> None:
+        futures = [pool.submit(_touch_store, path, uris)
+                   for _ in range(workers)]
+        for future in futures:
+            future.result()
+
+    _run_with_retry(workers, attempt)
 
 
 def worker_pids(workers: int) -> set[int]:
     """Distinct PIDs answering in the pool (test/diagnostic hook)."""
-    pool = _proc_pool(workers)
-    futures = [pool.submit(os.getpid) for _ in range(workers * 2)]
-    return {future.result() for future in futures}
+
+    def attempt(pool: ProcessPoolExecutor) -> set[int]:
+        futures = [pool.submit(os.getpid) for _ in range(workers * 2)]
+        return {future.result() for future in futures}
+
+    return _run_with_retry(workers, attempt)
 
 
 # ----------------------------------------------------------------------
@@ -177,6 +239,49 @@ def _release_segments(handles: list) -> None:
             pass
 
 
+def _unlink_payload(payload) -> None:
+    """Unlink the segment of a completed-but-never-consumed payload.
+
+    The error-path counterpart of :func:`_unpack_columnar` +
+    :func:`_release_segments`: a worker that already parked its result
+    in shared memory has handed ownership to the parent, so if the
+    parent aborts the merge (another shard failed, or the query was
+    cancelled) the parent must still unlink this segment — otherwise
+    it stays in ``/dev/shm`` until process exit.
+    """
+    if not (isinstance(payload, tuple) and payload
+            and payload[0] == "col-shm"):
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=payload[1])
+    except FileNotFoundError:  # pragma: no cover - already reaped
+        return
+    segment.close()
+    segment.unlink()
+
+
+def _drain_futures(futures: list) -> None:
+    """Error/cancel path: reap every unconsumed future's shm segment.
+
+    Cancels what has not started, then waits for the rest — a running
+    shard cannot be interrupted, and letting it finish is the only way
+    to learn its segment name and unlink it.  Worker exceptions are
+    swallowed here (the caller is already unwinding with the primary
+    error).
+    """
+    for future in futures:
+        future.cancel()
+    for future in futures:
+        try:
+            payload = future.result()
+        except BaseException:
+            continue
+        try:
+            _unlink_payload(payload)
+        except OSError:  # pragma: no cover - segment already gone
+            pass
+
+
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
@@ -202,6 +307,16 @@ def _worker_stored(store_ref: StoreRef):
 
     path, uri = store_ref
     return open_store_reader(path).stored(uri)
+
+
+def _touch_store(path: str, uris: tuple[str, ...]) -> int:
+    """Map a store and build its facades in this worker (pre-fork)."""
+    from repro.storage import open_store_reader
+
+    reader = open_store_reader(path)
+    for uri in uris:
+        reader.stored(uri)
+    return os.getpid()
 
 
 def resolve_staircase_pool(shredded, desc: tuple) -> np.ndarray:
@@ -321,17 +436,33 @@ def run_staircase(axis: str, store_ref: StoreRef,
     by block concatenation: byte-identical to the serial kernel.
     """
     its, pres = canon
-    pool = _proc_pool(plan.workers)
-    futures = [pool.submit(_staircase_shard, store_ref, axis,
-                           its[lo:hi], pres[lo:hi], desc, or_self)
-               for lo, hi in _iteration_slices(its, plan.workers)]
-    handles: list = []
-    try:
-        shards = [_unpack_columnar(future.result(), handles)
-                  for future in futures]
-        return _concat_iteration_blocks(shards)
-    finally:
-        _release_segments(handles)
+    slices = _iteration_slices(its, plan.workers)
+
+    def attempt(pool: ProcessPoolExecutor) -> ColumnarResult:
+        token = current_token()
+        futures = [pool.submit(_staircase_shard, store_ref, axis,
+                               its[lo:hi], pres[lo:hi], desc, or_self)
+                   for lo, hi in slices]
+        handles: list = []
+        consumed = 0
+        try:
+            shards = []
+            for future in futures:
+                shards.append(_unpack_columnar(
+                    wait_cancellable(future, token), handles))
+                consumed += 1
+            return _concat_iteration_blocks(shards)
+        except BaseException:
+            # One shard failed (or the query was cancelled): the other
+            # workers may still park results in shared memory — reap
+            # them, or the segments leak in /dev/shm for the life of
+            # the process.
+            _drain_futures(futures[consumed:])
+            raise
+        finally:
+            _release_segments(handles)
+
+    return _run_with_retry(plan.workers, attempt)
 
 
 def run_standoff(jobs: list[tuple], workers: int) -> list:
@@ -342,25 +473,38 @@ def run_standoff(jobs: list[tuple], workers: int) -> list:
     — a :class:`ColumnarResult` or a reference-path dict — so
     ``ColumnarStepResult.from_fragments`` consumes them unchanged.
     """
-    pool = _proc_pool(workers)
-    futures = [pool.submit(_standoff_shard, *job) for job in jobs]
-    out = []
-    for future in futures:
-        payload = future.result()
-        if payload[0] == "raw":
-            out.append(payload[1])
-            continue
-        handles: list = []
+    def attempt(pool: ProcessPoolExecutor) -> list:
+        token = current_token()
+        futures = [pool.submit(_standoff_shard, *job) for job in jobs]
+        out = []
+        consumed = 0
         try:
-            result = _unpack_columnar(payload, handles)
-            if handles:
-                # These results outlive this call (the step layer
-                # merges them later) — copy out of the segment so it
-                # can be unlinked now.
-                result = ColumnarResult(result.iters.copy(),
-                                        result.offsets.copy(),
-                                        result.values.copy())
-            out.append(result)
-        finally:
-            _release_segments(handles)
-    return out
+            for future in futures:
+                payload = wait_cancellable(future, token)
+                if payload[0] == "raw":
+                    out.append(payload[1])
+                    consumed += 1
+                    continue
+                handles: list = []
+                try:
+                    result = _unpack_columnar(payload, handles)
+                    if handles:
+                        # These results outlive this call (the step
+                        # layer merges them later) — copy out of the
+                        # segment so it can be unlinked now.
+                        result = ColumnarResult(result.iters.copy(),
+                                                result.offsets.copy(),
+                                                result.values.copy())
+                    out.append(result)
+                finally:
+                    _release_segments(handles)
+                consumed += 1
+            return out
+        except BaseException:
+            # See run_staircase: completed-but-unconsumed shard
+            # results own shm segments that must be unlinked on the
+            # way out.
+            _drain_futures(futures[consumed:])
+            raise
+
+    return _run_with_retry(workers, attempt)

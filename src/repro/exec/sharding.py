@@ -42,6 +42,8 @@ from repro.config import (
     DEFAULT_SHARD_MIN_ROWS,
     normalize_workers,
 )
+from repro.exec.cancel import check_cancelled, current_token, \
+    wait_cancellable
 from repro.relational.columnar import ColumnarResult
 
 T = TypeVar("T")
@@ -197,12 +199,29 @@ def run_shards(jobs: Sequence[Callable[[], T]], workers) -> list[T]:
     ``workers`` of 1 (or :data:`~repro.config.WORKERS_SERIAL`), or a
     single job, runs inline — no pool, no thread hop.  Exceptions
     propagate to the caller exactly as on the serial path.
+
+    Both paths honour the ambient cancel token
+    (:mod:`repro.exec.cancel`): the inline loop checks it between
+    jobs, the pooled wait polls it between shard completions and
+    cancels the not-yet-started futures on the way out — this is what
+    makes a serving-layer timeout actually reach the shard work
+    instead of orphaning it on the pool.
     """
     count = normalize_workers(workers)
     if count <= 1 or len(jobs) <= 1:
-        return [job() for job in jobs]
+        results = []
+        for job in jobs:
+            check_cancelled()
+            results.append(job())
+        return results
+    token = current_token()
     futures = [_pool(count).submit(job) for job in jobs]
-    return [future.result() for future in futures]
+    try:
+        return [wait_cancellable(future, token) for future in futures]
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
 
 
 # ----------------------------------------------------------------------

@@ -190,6 +190,7 @@ class StoreReader:
         self._metas = {meta["uri"]: meta
                        for meta in self._file.header["documents"]}
         self._stored: dict[str, MappedStoredDocument] = {}
+        self._stored_lock = threading.Lock()
 
     @property
     def file_size(self) -> int:
@@ -261,11 +262,14 @@ class StoreReader:
 
     def stored(self, uri: str) -> "MappedStoredDocument":
         """The (cached) lazy stored-document facade for *uri*."""
-        cached = self._stored.get(uri)
-        if cached is None:
-            cached = MappedStoredDocument(self, self.meta(uri))
-            self._stored[uri] = cached
-        return cached
+        # Locked: concurrent first touches must agree on one facade,
+        # or downstream node-identity checks see two DOM instances.
+        with self._stored_lock:
+            cached = self._stored.get(uri)
+            if cached is None:
+                cached = MappedStoredDocument(self, self.meta(uri))
+                self._stored[uri] = cached
+            return cached
 
     def verify(self) -> None:
         """Full checksum verification (reads every page)."""
@@ -297,39 +301,56 @@ class MappedStoredDocument(StoredDocument):
 
     @property
     def document(self) -> Document:
-        if self._document is None:
-            self._document = self._reader.document(self.uri)
-        return self._document
+        # Double-checked behind the inherited build lock: the node
+        # identity layer (DocumentStore.by_document, transient caches)
+        # relies on one DOM instance per stored document, so two
+        # first-touch threads must never each parse their own.
+        document = self._document
+        if document is not None:
+            return document
+        with self._build_lock:
+            if self._document is None:
+                self._document = self._reader.document(self.uri)
+            return self._document
 
     @property
     def shredded(self) -> ShreddedDocument:
-        if self._shredded is None:
-            if self._detached:
-                self._shredded = shred(self.document)
-            else:
-                self._shredded = self._reader.shredded(
-                    self.uri, document=self._document,
-                    doc_factory=lambda: self.document)
-        return self._shredded
+        shredded = self._shredded
+        if shredded is not None:
+            return shredded
+        with self._build_lock:
+            if self._shredded is None:
+                if self._detached:
+                    self._shredded = shred(self.document)
+                else:
+                    self._shredded = self._reader.shredded(
+                        self.uri, document=self._document,
+                        doc_factory=lambda: self.document)
+            return self._shredded
 
     def region_index(self, config=DEFAULT_CONFIG) -> RegionIndex:
         index = self._region_indexes.get(config)
-        if index is None and config == DEFAULT_CONFIG \
-                and not self._detached \
-                and self._reader.has_regions(self.uri):
-            index = self._reader.region_index(self.uri)
-            self._region_indexes[config] = index
-        if index is None:
-            index = RegionIndex.build(
-                extract_regions(self.document, config))
-            self._region_indexes[config] = index
-        return index
+        if index is not None:
+            return index
+        with self._build_lock:
+            index = self._region_indexes.get(config)
+            if index is None and config == DEFAULT_CONFIG \
+                    and not self._detached \
+                    and self._reader.has_regions(self.uri):
+                index = self._reader.region_index(self.uri)
+                self._region_indexes[config] = index
+            if index is None:
+                index = RegionIndex.build(
+                    extract_regions(self.document, config))
+                self._region_indexes[config] = index
+            return index
 
     def invalidate(self) -> None:
-        self._detached = True
-        self.document.renumber()
-        self._shredded = None
-        self._region_indexes.clear()
+        with self._build_lock:
+            self._detached = True
+            self.document.renumber()
+            self._shredded = None
+            self._region_indexes.clear()
 
 
 def open_store(path: str, *, plan_cache_size: int | None = None):

@@ -16,6 +16,7 @@ lazily per (document, config) pair and cached.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 from repro.config import (
@@ -103,6 +104,15 @@ class StoredDocument:
         self._region_indexes: dict[StandoffConfig, RegionIndex] = {}
         self.storage_backend = normalize_storage_backend(storage_backend)
         self._spill_path: str | None = None
+        # Serializes the lazy builds below.  They are not merely
+        # duplicated work when raced: both the shredder and
+        # extract_regions() call document.renumber(), which *mutates*
+        # the DOM's pre/size/level ranks while the other thread walks
+        # them — under concurrent queries (the serving layer) two
+        # first-touch threads could each build against a tree the
+        # other was renumbering.  Reentrant because region_index()
+        # may take it around _ensure_spilled().
+        self._build_lock = threading.RLock()
 
     @property
     def document(self) -> Document:
@@ -118,26 +128,38 @@ class StoredDocument:
 
     @property
     def shredded(self) -> ShreddedDocument:
-        if self._shredded is None:
-            if self.storage_backend == STORAGE_MMAP:
-                self._ensure_spilled()
-            else:
-                self._shredded = shred(self.document)
-        return self._shredded
+        # Double-checked: the unlocked hit is the hot path (a plain
+        # attribute read of an already-built, immutable structure);
+        # only first touch pays the lock.
+        shredded = self._shredded
+        if shredded is not None:
+            return shredded
+        with self._build_lock:
+            if self._shredded is None:
+                if self.storage_backend == STORAGE_MMAP:
+                    self._ensure_spilled()
+                else:
+                    self._shredded = shred(self.document)
+            return self._shredded
 
     def region_index(self, config: StandoffConfig = DEFAULT_CONFIG
                      ) -> RegionIndex:
         index = self._region_indexes.get(config)
-        if index is None:
-            if self.storage_backend == STORAGE_MMAP \
-                    and config == DEFAULT_CONFIG:
-                self._ensure_spilled()
-                index = self._region_indexes.get(config)
-                if index is not None:
-                    return index
-            index = RegionIndex.build(extract_regions(self.document, config))
-            self._region_indexes[config] = index
-        return index
+        if index is not None:
+            return index
+        with self._build_lock:
+            index = self._region_indexes.get(config)
+            if index is None:
+                if self.storage_backend == STORAGE_MMAP \
+                        and config == DEFAULT_CONFIG:
+                    self._ensure_spilled()
+                    index = self._region_indexes.get(config)
+                    if index is not None:
+                        return index
+                index = RegionIndex.build(
+                    extract_regions(self.document, config))
+                self._region_indexes[config] = index
+            return index
 
     def _ensure_spilled(self) -> None:
         """Round-trip the derived structures through a spill store.
@@ -146,6 +168,7 @@ class StoredDocument:
         to a store file, and re-opened memory-mapped; the in-memory DOM
         is kept for node decoding.  Custom standoff configs still build
         in memory (the store persists the default config's table).
+        Callers hold ``_build_lock``.
         """
         if self._spill_path is not None:
             return
@@ -174,9 +197,13 @@ class StoredDocument:
         A spilled store file is stale after an update and is dropped
         (the next use spills afresh).
         """
-        self.document.renumber()
-        self._shredded = None
-        self._region_indexes.clear()
+        with self._build_lock:
+            self.document.renumber()
+            self._shredded = None
+            self._region_indexes.clear()
+            self._drop_spill()
+
+    def _drop_spill(self) -> None:
         if self._spill_path is not None:
             try:
                 import os

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exec.cancel import check_cancelled
 from repro.errors import (
     UnsupportedFeatureError,
     XQueryDynamicError,
@@ -476,6 +477,9 @@ def _bulk_standard_axis(step: ast.AxisStep, env: BulkEnv,
     scope = env.ctx.child_scope()
     out: dict[int, list] = {}
     for it in env.loop:
+        # Cancellation checkpoint: the per-iteration DOM-walk fallback is
+        # the bulk path's unbounded interpreter loop.
+        check_cancelled()
         nodes = context.items_for(it)
         if not nodes:
             continue

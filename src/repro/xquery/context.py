@@ -34,18 +34,31 @@ class StaticContext:
     standoff: StandoffConfig = field(default_factory=StandoffConfig)
 
     @classmethod
-    def from_prolog(cls, prolog: ast.Prolog) -> "StaticContext":
-        unknown = [name for name in prolog.options
+    def from_prolog(cls, prolog: ast.Prolog,
+                    option_defaults: dict[str, str] | None = None
+                    ) -> "StaticContext":
+        """Build the static context for a compiled module.
+
+        *option_defaults* are session-level ``declare option`` values
+        (a serving session's standoff representation, say) applied
+        beneath the query's own prolog — the prolog always wins.
+        Because they change what a query text compiles to, they are
+        part of the plan-cache key: see
+        :meth:`repro.xquery.engine.Database._static_fingerprint`.
+        """
+        options = dict(option_defaults) if option_defaults else {}
+        options.update(prolog.options)
+        unknown = [name for name in options
                    if name.startswith("standoff-")
                    and name not in STANDOFF_OPTION_NAMES]
         if unknown:
             raise XQueryStaticError(
                 f"unknown standoff option(s): {', '.join(sorted(unknown))}")
         standoff_options = {
-            name: value for name, value in prolog.options.items()
+            name: value for name, value in options.items()
             if name in STANDOFF_OPTION_NAMES}
         static = cls(
-            options=dict(prolog.options),
+            options=options,
             namespaces=dict(prolog.namespaces),
             standoff=StandoffConfig.from_options(standoff_options),
         )

@@ -137,27 +137,73 @@ class Database:
     """An in-memory XML database with the StandOff XQuery extensions."""
 
     def __init__(self, *, plan_cache_size: int | None = None,
-                 storage_backend: str | None = None) -> None:
+                 storage_backend: str | None = None,
+                 session_options: dict[str, str] | None = None) -> None:
         from repro.xmldb.blob import BlobStore
 
         self.store = DocumentStore(storage_backend=storage_backend)
         self.blobs = BlobStore()
+        #: Engine-level ``declare option`` defaults applied beneath
+        #: every query's prolog (the prolog wins).  The serving layer
+        #: uses the per-call variant (``query(session_options=...)``)
+        #: so one shared engine can host sessions with different
+        #: static configurations.
+        self.session_options = dict(session_options or {})
         #: Compiled-plan LRU (``plan_cache_size=0`` disables; default
         #: from ``REPRO_PLAN_CACHE``).
         self.plan_cache = PlanCache(
             DEFAULT_PLAN_CACHE_SIZE if plan_cache_size is None
             else plan_cache_size)
 
-    def _static_fingerprint(self) -> tuple:
+    def _static_fingerprint(self,
+                            session_options: dict[str, str] | None = None
+                            ) -> tuple:
         """The plan-cache key component beyond the query text.
 
-        Everything that feeds static analysis today is derived from the
-        query text itself, so the fingerprint is a constant version
-        marker; any future engine-level static configuration (default
-        collations, module resolution, option overrides) must be folded
-        in here before it can influence compilation.
+        Static analysis is mostly derived from the query text itself;
+        the one engine-level input is the session ``declare option``
+        defaults (engine-wide :attr:`session_options`, overlaid by the
+        per-call *session_options* a serving session supplies), which
+        change what a given text compiles to — so they are folded into
+        the fingerprint and two sessions with different static
+        contexts can never collide in the shared plan cache.  Any
+        future static configuration (default collations, module
+        resolution) must be folded in here before it can influence
+        compilation.
         """
-        return ("static-v1",)
+        merged = self._merged_options(session_options)
+        if not merged:
+            return ("static-v2",)
+        return ("static-v2", tuple(sorted(merged.items())))
+
+    def _merged_options(self, session_options: dict[str, str] | None
+                        ) -> dict[str, str]:
+        if not session_options:
+            return self.session_options
+        merged = dict(self.session_options)
+        merged.update(session_options)
+        return merged
+
+    def compile(self, text: str, *,
+                session_options: dict[str, str] | None = None):
+        """Parse *text* (or fetch it from the plan cache).
+
+        Returns the ``(module, static_context)`` plan without
+        evaluating it — the admission-control estimator in
+        :mod:`repro.serve` uses this to inspect a query's shape before
+        running it, and the work is never wasted: the compiled plan is
+        cached, so the subsequent :meth:`query` call hits.
+        """
+        fingerprint = self._static_fingerprint(session_options)
+        plan = self.plan_cache.get(text, fingerprint)
+        if plan is None:
+            module = parse(text)
+            static = StaticContext.from_prolog(
+                module.prolog,
+                option_defaults=self._merged_options(session_options))
+            plan = (module, static)
+            self.plan_cache.put(text, plan, fingerprint)
+        return plan
 
     # -- document management ---------------------------------------------
 
@@ -213,7 +259,9 @@ class Database:
               shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS,
               executor: str | None = None,
               context_uri: str | None = None,
-              variables: dict | None = None) -> QueryResult:
+              variables: dict | None = None,
+              session_options: dict[str, str] | None = None
+              ) -> QueryResult:
         """Parse and evaluate a query.
 
         :param text: the XQuery text (prolog + body).
@@ -248,6 +296,11 @@ class Database:
             without ``doc(...)``).
         :param variables: optional external variable bindings
             (name -> item or sequence).
+        :param session_options: per-session ``declare option``
+            defaults overlaid on the engine-level
+            :attr:`session_options` (the query prolog overrides both);
+            part of the plan-cache key, so sessions with different
+            static contexts share the cache without collisions.
         """
         try:
             strat = _STRATEGIES[strategy]
@@ -255,14 +308,8 @@ class Database:
             raise ValueError(
                 f"unknown strategy {strategy!r}; expected one of "
                 f"{sorted(_STRATEGIES)}") from None
-        fingerprint = self._static_fingerprint()
-        plan = self.plan_cache.get(text, fingerprint)
-        if plan is None:
-            module = parse(text)
-            static = StaticContext.from_prolog(module.prolog)
-            self.plan_cache.put(text, (module, static), fingerprint)
-        else:
-            module, static = plan
+        module, static = self.compile(text,
+                                      session_options=session_options)
         if pushdown not in ("always", "never", "auto"):
             raise ValueError(
                 f"unknown pushdown policy {pushdown!r}; expected "

@@ -25,6 +25,7 @@ from repro.xmldb.dom import (
     document_order,
     renumber_fragment,
 )
+from repro.exec.cancel import check_cancelled
 from repro.xquery import ast
 from repro.xquery.axes import AXIS_FUNCTIONS, REVERSE_AXES, matches_test
 from repro.xquery.context import DynamicContext, Focus, Sequence
@@ -237,6 +238,9 @@ def _eval_flwor(expr: ast.FLWOR, ctx: DynamicContext) -> Sequence:
 
     out: Sequence = []
     for scope in tuples:
+        # Cancellation checkpoint: per-tuple return evaluation is the
+        # other unbounded interpreter loop (see _filter_by_predicate).
+        check_cancelled()
         out.extend(evaluate(expr.return_expr, scope))
     return out
 
@@ -379,6 +383,11 @@ def _filter_by_predicate(items: list, predicate: ast.Expr,
     size = len(items)
     scope = ctx.child_scope()
     for position, item in enumerate(items, start=1):
+        # Cancellation checkpoint: per-item predicate loops are where
+        # a non-batched evaluation spends unbounded time between
+        # kernel calls, so a served query's timeout must be able to
+        # fire here (cheap: one thread-local read per item).
+        check_cancelled()
         scope.focus = Focus(item, position, size)
         value = evaluate(predicate, scope)
         if _predicate_truth(value, position):

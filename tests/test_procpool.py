@@ -179,3 +179,70 @@ def test_executor_validation():
 def test_warm_pool():
     procpool.warm_pool(WORKERS)
     assert procpool.worker_pids(WORKERS)
+
+
+def test_broken_pool_evicted_and_rebuilt(tmp_path):
+    """A worker dying mid-job breaks the whole pool; the next dispatch
+    must evict the carcass from ``_PROC_POOLS``, rebuild, and retry —
+    not keep raising ``BrokenProcessPool`` forever."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    procpool.warm_pool(WORKERS)
+    pool = procpool._proc_pool(WORKERS)
+    with pytest.raises(BrokenProcessPool):
+        pool.submit(os._exit, 13).result()
+
+    # the cached pool is now broken; both the pool utilities and a real
+    # store-backed staircase dispatch must transparently recover
+    pids = procpool.worker_pids(WORKERS)
+    assert pids and os.getpid() not in pids
+
+    path = str(tmp_path / "d.repro")
+    storage.save_store(path, build("memory"))
+    db = storage.open_store(path)
+    reference = build("memory")
+    query = QUERIES[0]
+    want = reference.query(query, workers="serial").serialize()
+
+    broken = procpool._proc_pool(WORKERS)
+    with pytest.raises(BrokenProcessPool):
+        broken.submit(os._exit, 13).result()
+    got = db.query(query, strategy="ll", workers=WORKERS,
+                   shard_min_rows=1, executor="process").serialize()
+    assert got == want
+
+
+def test_shm_unlinked_when_merge_fails(tmp_path, monkeypatch):
+    """A failure between a worker publishing its shared-memory payload
+    and the caller consuming it must not leak the segment: the error
+    path drains the remaining futures and unlinks every payload."""
+    monkeypatch.setattr(procpool, "SHM_MIN_BYTES", 0)
+    path = str(tmp_path / "d.repro")
+    storage.save_store(path, build("memory"))
+    sh = storage.StoreReader(path).shredded("d.xml")
+    context = [(it, pre) for it, pre in
+               enumerate(sh.all_element_pres().tolist()[:80])]
+    desc = ("name", "w")
+    pool = procpool.resolve_staircase_pool(sh, desc)
+
+    real = procpool._unpack_columnar
+    consumed = []
+
+    def unpack_once_then_fail(payload, handles):
+        if consumed:
+            raise RuntimeError("merge failure")
+        consumed.append(1)
+        return real(payload, handles)
+
+    monkeypatch.setattr(procpool, "_unpack_columnar",
+                        unpack_once_then_fail)
+    with pytest.raises(RuntimeError, match="merge failure"):
+        staircase_join("following", sh, context, pool,
+                       kernel="vectorized", workers=WORKERS,
+                       shard_min_rows=1, executor="process",
+                       candidate_desc=desc)
+    assert consumed, "expected the first shard to be consumed"
+    leftovers = [name for name in os.listdir("/dev/shm")
+                 if name.startswith("psm_")] \
+        if os.path.isdir("/dev/shm") else []
+    assert not leftovers, leftovers
