@@ -197,8 +197,9 @@ def _expand_windows(j0: np.ndarray, j1: np.ndarray
     if total > PAIR_BUDGET:
         raise _PairBudgetExceeded
     offs = np.concatenate(([0], np.cumsum(counts)))
-    seg_of_pair = np.repeat(np.arange(len(j0)), counts)
-    pair_j = np.arange(total) - np.repeat(offs[:-1] - j0, counts)
+    seg_of_pair = np.repeat(np.arange(len(j0), dtype=np.int64), counts)
+    pair_j = np.arange(total, dtype=np.int64) \
+        - np.repeat(offs[:-1] - j0, counts)
     return seg_of_pair, pair_j, offs
 
 

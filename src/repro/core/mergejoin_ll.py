@@ -42,7 +42,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.naive import StandoffOp
-from repro.core.region_index import RegionTable
+from repro.core.region_index import RegionTable, _position_column
 from repro.errors import RegionError
 from repro.relational.columnar import complement
 
@@ -85,8 +85,8 @@ class IterContext:
         it, ids, st, en = zip(*rows)
         it = np.asarray(it, np.int64)
         ids = np.asarray(ids, np.int64)
-        st = np.asarray(st)
-        en = np.asarray(en)
+        st = _position_column(st)
+        en = _position_column(en)
         if np.any(st > en):
             raise RegionError("context contains a region with start > end")
         order = np.lexsort((ids, it, en, st))

@@ -36,7 +36,8 @@ def _position_column(values) -> np.ndarray:
     On little-endian hosts these are the native dtypes, so the
     ``astype(copy=False)`` is free.
     """
-    arr = np.asarray(values)
+    # repro: lint-ok[RL001] dtype dispatch point: the inferred kind
+    arr = np.asarray(values)   # picks <i8 vs <f8 on the next line
     target = "<f8" if arr.dtype.kind in "fc" else "<i8"
     return arr.astype(target, copy=False)
 
@@ -116,8 +117,9 @@ class RegionTable:
             return cls(np.empty(0, np.int64), np.empty(0, np.int64),
                        np.empty(0, np.int64), presorted=True)
         starts, ends, ids = zip(*rows)
-        return cls(np.asarray(starts), np.asarray(ends),
-                   np.asarray(ids, dtype=np.int64))
+        # __init__ routes starts/ends through _position_column, which
+        # pins the explicit little-endian dtype.
+        return cls(starts, ends, np.asarray(ids, dtype=np.int64))
 
     @classmethod
     def from_areas(cls, pairs: Iterable[tuple[int, Area]]) -> "RegionTable":

@@ -46,13 +46,13 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
-import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.exec import lockcheck
 from repro.exec.cancel import current_token, wait_cancellable
 from repro.exec.sharding import ShardPlan
 from repro.relational.columnar import ColumnarResult, run_starts
@@ -71,7 +71,7 @@ StoreRef = tuple[str, str]
 SHM_MIN_BYTES = 1 << 20
 
 _PROC_POOLS: dict[int, ProcessPoolExecutor] = {}
-_PROC_POOLS_LOCK = threading.Lock()
+_PROC_POOLS_LOCK = lockcheck.new_lock("procpool._PROC_POOLS_LOCK")
 
 
 def _proc_pool(workers: int) -> ProcessPoolExecutor:
@@ -198,14 +198,22 @@ def _pack_columnar(result: ColumnarResult) -> tuple:
     if total < SHM_MIN_BYTES:
         return "col", tuple(arrays)
     segment = shared_memory.SharedMemory(create=True, size=total)
-    metas = []
-    offset = 0
-    for a in arrays:
-        view = np.ndarray(a.shape, a.dtype, buffer=segment.buf,
-                          offset=offset)
-        view[...] = a
-        metas.append((a.dtype.str, a.shape, offset))
-        offset += a.nbytes
+    try:
+        metas = []
+        offset = 0
+        for a in arrays:
+            view = np.ndarray(a.shape, a.dtype, buffer=segment.buf,
+                              offset=offset)
+            view[...] = a
+            metas.append((a.dtype.str, a.shape, offset))
+            offset += a.nbytes
+    except BaseException:
+        # An unwind (cancel, timeout, OOM) between create and return
+        # would orphan the segment in /dev/shm for the worker's life —
+        # the parent never learns its name, so nobody else can unlink.
+        segment.close()
+        segment.unlink()
+        raise
     name = segment.name
     segment.close()
     return "col-shm", name, metas
@@ -274,7 +282,8 @@ def _drain_futures(futures: list) -> None:
     for future in futures:
         try:
             payload = future.result()
-        except BaseException:
+        # repro: lint-ok[RL006] drain path: the caller is already
+        except BaseException:   # unwinding with the primary error
             continue
         try:
             _unlink_payload(payload)

@@ -31,7 +31,6 @@ deterministic reference the differential suites compare against.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence, TypeVar
@@ -42,6 +41,7 @@ from repro.config import (
     DEFAULT_SHARD_MIN_ROWS,
     normalize_workers,
 )
+from repro.exec import lockcheck
 from repro.exec.cancel import check_cancelled, current_token, \
     wait_cancellable
 from repro.relational.columnar import ColumnarResult
@@ -179,7 +179,7 @@ def partition_by_iteration(iter_counts: Sequence[int], workers, *,
 #: the batched kernels spend their time in NumPy array operations,
 #: which release the GIL.
 _POOLS: dict[int, ThreadPoolExecutor] = {}
-_POOLS_LOCK = threading.Lock()
+_POOLS_LOCK = lockcheck.new_lock("sharding._POOLS_LOCK")
 
 
 def _pool(workers: int) -> ThreadPoolExecutor:

@@ -1,0 +1,52 @@
+"""CLI: ``python -m repro.lint [--config DIR] [--list-rules] paths...``
+
+Exit status 0 when every linted file is clean (all suppressions carrying
+reasons), 1 when findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint import RULES, lint_paths, load_config
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="repo-specific invariant lint pass (see docs/lint.md)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint")
+    parser.add_argument("--config", type=Path, default=None,
+                        help="directory holding pyproject.toml "
+                             "(default: current directory)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, (_checker, description) in sorted(RULES.items()):
+            print(f"{rule_id}  {description}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.lint src tests "
+                     "benchmarks)")
+
+    root = (args.config or Path.cwd()).resolve()
+    config = load_config(root)
+    findings = lint_paths(args.paths, root, config)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:      # e.g. `--list-rules | head`
+        sys.exit(0)

@@ -46,7 +46,8 @@ class Column:
     def take(self, indexes) -> "Column":
         """A new column with the rows at *indexes* (any int sequence)."""
         if self.is_numeric:
-            return Column(self.name, self.data[np.asarray(indexes)])
+            return Column(self.name,
+                          self.data[np.asarray(indexes, dtype=np.int64)])
         return Column(self.name, [self.data[i] for i in indexes])
 
     def filter_mask(self, mask: np.ndarray) -> "Column":

@@ -100,8 +100,8 @@ def antijoin(left: Table, right: Table, on: str) -> Table:
 def cross(left: Table, right: Table, suffix: str = "_r") -> Table:
     """Cartesian product, left-major order."""
     nl, nr = len(left), len(right)
-    lidx = np.repeat(np.arange(nl), nr)
-    ridx = np.tile(np.arange(nr), nl)
+    lidx = np.repeat(np.arange(nl, dtype=np.int64), nr)
+    ridx = np.tile(np.arange(nr, dtype=np.int64), nl)
     taken_left = left.take(lidx)
     rename = {c.name: c.name + suffix for c in right.columns
               if taken_left.has_column(c.name)}

@@ -29,13 +29,13 @@ import atexit
 import os
 import shutil
 import tempfile
-import threading
 
 import numpy as np
 
 from repro.config import DEFAULT_CONFIG, STORAGE_MMAP
 from repro.core.region_index import RegionIndex, RegionTable
 from repro.errors import StorageFormatError
+from repro.exec import lockcheck
 from repro.storage.format import (
     ALIGNMENT,
     FORMAT_VERSION,
@@ -190,7 +190,7 @@ class StoreReader:
         self._metas = {meta["uri"]: meta
                        for meta in self._file.header["documents"]}
         self._stored: dict[str, MappedStoredDocument] = {}
-        self._stored_lock = threading.Lock()
+        self._stored_lock = lockcheck.new_lock("StoreReader._stored_lock")
 
     @property
     def file_size(self) -> int:
@@ -268,6 +268,8 @@ class StoreReader:
             cached = self._stored.get(uri)
             if cached is None:
                 cached = MappedStoredDocument(self, self.meta(uri))
+                lockcheck.assert_locked(self._stored_lock,
+                                        "StoreReader._stored")
                 self._stored[uri] = cached
             return cached
 
@@ -342,6 +344,8 @@ class MappedStoredDocument(StoredDocument):
             if index is None:
                 index = RegionIndex.build(
                     extract_regions(self.document, config))
+                lockcheck.assert_locked(
+                    self._build_lock, "MappedStoredDocument._region_indexes")
                 self._region_indexes[config] = index
             return index
 
@@ -372,7 +376,7 @@ def open_store(path: str, *, plan_cache_size: int | None = None):
 #: Process-wide reader cache — worker processes re-open each store file
 #: exactly once and reuse the mapping across shard jobs.
 _READERS: dict[str, StoreReader] = {}
-_READERS_LOCK = threading.Lock()
+_READERS_LOCK = lockcheck.new_lock("storage._READERS_LOCK")
 
 
 def open_store_reader(path: str) -> StoreReader:
@@ -391,7 +395,7 @@ def open_store_reader(path: str) -> StoreReader:
 # ----------------------------------------------------------------------
 
 _SPILL_DIR: str | None = None
-_SPILL_LOCK = threading.Lock()
+_SPILL_LOCK = lockcheck.new_lock("storage._SPILL_LOCK")
 _SPILL_SEQ = 0
 
 

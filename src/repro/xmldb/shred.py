@@ -19,11 +19,11 @@ store file, so nothing downstream may mutate a column in place.
 from __future__ import annotations
 
 import hashlib
-import threading
 from collections import OrderedDict
 
 import numpy as np
 
+from repro.exec import lockcheck
 from repro.config import (
     DEFAULT_SHRED_CACHE_BYTES,
     DEFAULT_SHRED_CACHE_ENTRIES,
@@ -418,7 +418,7 @@ class ShredCache:
 
     def __init__(self, max_entries: int = DEFAULT_SHRED_CACHE_ENTRIES,
                  max_bytes: int = DEFAULT_SHRED_CACHE_BYTES):
-        self._lock = threading.Lock()
+        self._lock = lockcheck.new_lock("ShredCache._lock")
         self._entries: OrderedDict[str, ShreddedDocument] = OrderedDict()
         self._bytes = 0
         self.max_entries = max_entries

@@ -16,9 +16,9 @@ lazily per (document, config) pair and cached.
 
 from __future__ import annotations
 
-import threading
 from typing import Iterator
 
+from repro.exec import lockcheck
 from repro.config import (
     DEFAULT_CONFIG,
     STORAGE_MMAP,
@@ -85,6 +85,7 @@ def _check(start, end, node: Element) -> None:
             f"> end {end!r}")
 
 
+@lockcheck.audit_lazy_stores(("_shredded", "_document"))
 class StoredDocument:
     """A document plus its derived structures, behind a storage seam.
 
@@ -112,7 +113,7 @@ class StoredDocument:
         # first-touch threads could each build against a tree the
         # other was renumbering.  Reentrant because region_index()
         # may take it around _ensure_spilled().
-        self._build_lock = threading.RLock()
+        self._build_lock = lockcheck.new_rlock("StoredDocument._build_lock")
 
     @property
     def document(self) -> Document:
@@ -158,6 +159,8 @@ class StoredDocument:
                         return index
                 index = RegionIndex.build(
                     extract_regions(self.document, config))
+                lockcheck.assert_locked(self._build_lock,
+                                        "StoredDocument._region_indexes")
                 self._region_indexes[config] = index
             return index
 
@@ -168,19 +171,22 @@ class StoredDocument:
         to a store file, and re-opened memory-mapped; the in-memory DOM
         is kept for node decoding.  Custom standoff configs still build
         in memory (the store persists the default config's table).
-        Callers hold ``_build_lock``.
+        Callers hold ``_build_lock``; the lock is re-entrant, so the
+        method still takes it itself — the derived-structure stores
+        below must never run unguarded.
         """
-        if self._spill_path is not None:
-            return
-        from repro import storage
+        with self._build_lock:
+            if self._spill_path is not None:
+                return
+            from repro import storage
 
-        path, reader = storage.spill_document(self.document)
-        self._spill_path = path
-        self._shredded = reader.shredded(self.uri,
-                                         document=self.document)
-        if reader.has_regions(self.uri):
-            self._region_indexes[DEFAULT_CONFIG] = \
-                reader.region_index(self.uri)
+            path, reader = storage.spill_document(self.document)
+            self._spill_path = path
+            self._shredded = reader.shredded(self.uri,
+                                             document=self.document)
+            if reader.has_regions(self.uri):
+                self._region_indexes[DEFAULT_CONFIG] = \
+                    reader.region_index(self.uri)
 
     def area_of_node(self, pre: int,
                      config: StandoffConfig = DEFAULT_CONFIG) -> Area | None:

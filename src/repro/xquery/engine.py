@@ -23,7 +23,6 @@ Example::
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 
 from repro.config import (
@@ -36,6 +35,7 @@ from repro.config import (
     FAMILY_STANDOFF,
     KERNELS,
 )
+from repro.exec import lockcheck
 from repro.core.steps import Strategy
 from repro.errors import XQueryTypeError
 from repro.xmldb.dom import Node
@@ -83,7 +83,7 @@ class PlanCache:
     """
 
     def __init__(self, max_entries: int = DEFAULT_PLAN_CACHE_SIZE):
-        self._lock = threading.Lock()
+        self._lock = lockcheck.new_lock("PlanCache._lock")
         self._entries: OrderedDict = OrderedDict()
         self.max_entries = max_entries
         self.hits = 0

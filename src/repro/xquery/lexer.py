@@ -20,7 +20,7 @@ Tokens are ``(type, value, pos)`` with types:
 
 from __future__ import annotations
 
-from repro.errors import XQuerySyntaxError
+from repro.errors import XMLSyntaxError, XQuerySyntaxError
 from repro.xmldb.escape import unescape
 
 _SYMBOLS_3 = ()
@@ -168,7 +168,12 @@ class Lexer:
         line, col = self.line_col(start)
         try:
             value = unescape("".join(parts), line, col)
-        except Exception:
+        except (XMLSyntaxError, ValueError):
+            # Only the scanner's own failure modes may be reworded as a
+            # syntax error: XMLSyntaxError from bad entities/charrefs,
+            # ValueError from the int() digit limit on huge charrefs.
+            # Anything else — above all a BenchmarkTimeout or
+            # cancellation unwinding through this frame — propagates.
             raise self.error("bad entity reference in string literal",
                              start) from None
         return Token("string", value, start)

@@ -174,8 +174,16 @@ def _prepare(ctx: DynamicContext,
              context_nodes_per_iter: dict[int, list[Node]],
              test: NodeTest | None,
              explicit_candidates: list[Node] | None):
-    """Build fragment partitions and iter rows for :func:`_run`."""
-    infos: dict[int, _FragmentInfo] = {}
+    """Build fragment partitions and iter rows for :func:`_run`.
+
+    Partition keys are ``id(root)`` ints (they travel through the
+    kernel's fragment-id column, so they must stay ints) — sound only
+    under the PR 7 strong-ref scheme: every entry pins its root
+    (``(root, info)``), so a keyed address can never be recycled while
+    the partition is alive, and every lookup verifies ``entry[0] is
+    root`` so a stale entry at a reused address is never returned.
+    """
+    infos: dict[int, tuple[Node, _FragmentInfo]] = {}
     context_by_fragment: dict[int, tuple[_FragmentInfo, list[int]]] = {}
     iter_rows: list[tuple[int, int, int]] = []
     for iteration, nodes in context_nodes_per_iter.items():
@@ -185,12 +193,13 @@ def _prepare(ctx: DynamicContext,
                     "StandOff steps require node context items")
             root = _fragment_root(node)
             key = id(root)
-            if key not in infos:
+            entry = infos.get(key)
+            if entry is None or entry[0] is not root:
                 info = _FragmentInfo(root, ctx)
                 if not isinstance(root, Document):
                     # Number orphan fragments so pre ranks exist.
                     ctx.region_index_for(root)
-                infos[key] = info
+                infos[key] = (root, info)
                 context_by_fragment[key] = (info, [])
             context_by_fragment[key][1].append(node.pre)
             iter_rows.append((iteration, key, node.pre))
@@ -201,13 +210,14 @@ def _prepare(ctx: DynamicContext,
         for node in explicit_candidates:
             root = _fragment_root(node)
             key = id(root)
-            if key in grouped:
+            entry = infos.get(key)
+            if entry is not None and entry[0] is root:
                 grouped[key].append(node.pre)
         candidates_by_fragment = {
             key: np.asarray(sorted(set(pres)), dtype=np.int64)
             for key, pres in grouped.items()}
     else:
-        for key, info in infos.items():
+        for key, (_root, info) in infos.items():
             candidates_by_fragment[key] = _candidate_ids_for_test(
                 ctx, info, test)
     return context_by_fragment, candidates_by_fragment, iter_rows

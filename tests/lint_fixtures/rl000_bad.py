@@ -1,0 +1,8 @@
+"""RL000 true positive: a suppression comment with no reason."""
+
+import numpy as np
+
+
+def build():
+    # repro: lint-ok[RL001]
+    return np.zeros(4)

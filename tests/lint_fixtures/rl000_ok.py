@@ -1,0 +1,8 @@
+"""RL000 near-miss: a reasoned suppression is accepted (and applied)."""
+
+import numpy as np
+
+
+def build():
+    # repro: lint-ok[RL001] caller casts to the backend dtype
+    return np.zeros(4)

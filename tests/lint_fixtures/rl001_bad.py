@@ -1,0 +1,10 @@
+"""RL001 true positives: platform-default dtypes in scoped code."""
+
+import numpy as np
+
+
+def build(rows):
+    starts = np.zeros(len(rows))
+    ids = np.asarray(rows)
+    ranks = np.arange(len(rows))
+    return starts, ids, ranks

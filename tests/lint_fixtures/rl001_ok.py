@@ -1,0 +1,16 @@
+"""RL001 near-misses: pinned dtypes, astype chains, same-line suppression."""
+
+import numpy as np
+
+
+def build(rows):
+    starts = np.zeros(len(rows), dtype="<i8")
+    ids = np.asarray(rows, dtype=np.int64)
+    ranks = np.arange(0, len(rows), 1, np.int64)
+    kinds = np.asarray(rows).astype("<u1")
+    values = np.fromiter(rows, np.float64)
+    return starts, ids, ranks, kinds, values
+
+
+def dispatch(rows):
+    return np.asarray(rows)   # repro: lint-ok[RL001] kind-dispatch point

@@ -1,0 +1,8 @@
+"""RL002 true positive: a shared column built but never frozen."""
+
+import numpy as np
+
+
+class RegionTable:
+    def __init__(self, rows):
+        self.starts = np.asarray(rows, dtype="<i8")

@@ -1,0 +1,23 @@
+"""RL002 near-misses: frozen columns, scratch arrays, read-only maps."""
+
+import numpy as np
+
+
+def freeze(*arrays):
+    for array in arrays:
+        array.flags.writeable = False
+    return arrays
+
+
+class RegionTable:
+    def __init__(self, rows):
+        self.starts = np.asarray(rows, dtype="<i8")
+        self.ends = np.zeros(len(rows), dtype="<i8")
+        self.scratch = np.ones(3, dtype="<f8")
+        freeze(self.starts)
+        self.ends.flags.writeable = False
+
+
+class MappedTable:
+    def __init__(self, path):
+        self.starts = np.memmap(path, dtype="<i8", mode="r")

@@ -1,0 +1,13 @@
+"""RL003 true positives: id()-keyed stores with no pinned referent."""
+
+
+class FragmentCache:
+    def __init__(self):
+        self._infos = {}
+
+    def remember(self, root, info):
+        self._infos[id(root)] = info
+
+    def remember_via_var(self, root, info):
+        key = id(root)
+        self._infos.setdefault(key, info)

@@ -1,0 +1,16 @@
+"""RL003 near-misses: entries that pin the referent, non-id keys."""
+
+
+class FragmentCache:
+    def __init__(self):
+        self._infos = {}
+
+    def remember(self, root, info):
+        self._infos[id(root)] = (root, info)
+
+    def remember_via_var(self, root, info):
+        key = id(root)
+        self._infos[key] = (root, info)
+
+    def remember_by_uri(self, root, info):
+        self._infos[root.uri] = info

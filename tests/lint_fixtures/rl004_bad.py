@@ -1,0 +1,24 @@
+"""RL004 true positives: lazy-build stores outside the build lock."""
+
+
+class StoredThing:
+    def __init__(self):
+        self._shredded = None
+        self._region_indexes = {}
+        self._build_lock = None
+
+    def shredded(self):
+        if self._shredded is None:
+            self._shredded = build()
+        return self._shredded
+
+    def region_index(self, config):
+        index = self._region_indexes.get(config)
+        if index is None:
+            index = build()
+            self._region_indexes[config] = index
+        return index
+
+
+def build():
+    return object()

@@ -1,0 +1,14 @@
+"""RL005 true positive: an shm segment created with no unwind guard."""
+
+from multiprocessing import shared_memory
+
+
+def pack(arrays, total):
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    for array in arrays:
+        fill(segment, array)
+    return segment.name
+
+
+def fill(segment, array):
+    pass

@@ -1,0 +1,37 @@
+"""RL005 near-misses: guarded creations and attach-only opens."""
+
+from multiprocessing import shared_memory
+
+
+def pack_guarded(arrays, total):
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        for array in arrays:
+            fill(segment, array)
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    return segment.name
+
+
+def pack_enclosed(arrays, total):
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=total)
+        fill(segment, arrays)
+        return segment.name
+    except BaseException:
+        _unlink_pending()
+        raise
+
+
+def attach(name):
+    return shared_memory.SharedMemory(name=name)
+
+
+def fill(segment, array):
+    pass
+
+
+def _unlink_pending():
+    pass

@@ -1,0 +1,16 @@
+"""RL006 true positives: broad catches in a cancellation-visible module."""
+
+
+def run(work):
+    try:
+        return work()
+    except Exception:
+        return None
+
+
+def cleanup(work, state):
+    try:
+        return work()
+    except BaseException:
+        state.clear()
+        return None

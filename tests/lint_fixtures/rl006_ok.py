@@ -1,0 +1,16 @@
+"""RL006 near-misses: concrete catches and re-raising cleanup."""
+
+
+def run(work):
+    try:
+        return work()
+    except (ValueError, KeyError):
+        return None
+
+
+def cleanup(work, state):
+    try:
+        return work()
+    except BaseException:
+        state.clear()
+        raise

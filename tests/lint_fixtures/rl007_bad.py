@@ -1,0 +1,17 @@
+"""RL007 true positives: unpolled unbounded/shard-wait loops."""
+
+
+def pump(queue):
+    while True:
+        item = queue.get()
+        if item is None:
+            return
+
+
+def drain(futures, as_completed):
+    for future in as_completed(futures):
+        future.result()
+
+
+def must_poll_fn(rows):
+    return list(rows)

@@ -1,0 +1,31 @@
+"""RL007 near-misses: polled loops, bounded loops."""
+
+
+def pump(queue, token):
+    while True:
+        token.raise_if_cancelled()
+        item = queue.get()
+        if item is None:
+            return
+
+
+def drain(futures, as_completed, token):
+    for future in as_completed(futures):
+        check_cancelled(token)
+        future.result()
+
+
+def must_poll_fn(rows, token):
+    token.raise_if_cancelled()
+    return list(rows)
+
+
+def bounded(rows):
+    total = 0
+    for row in rows:
+        total += row
+    return total
+
+
+def check_cancelled(token):
+    pass

@@ -1,0 +1,9 @@
+"""RL008 true positives: axis names outside the canonical vocabulary."""
+
+
+def register(KernelSpec):
+    return KernelSpec(name="vec", axes=("descendant", "sideways"))
+
+
+def check(validate_axis, axis):
+    validate_axis(axis, ("ancestor", "upward"))

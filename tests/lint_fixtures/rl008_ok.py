@@ -1,0 +1,14 @@
+"""RL008 near-misses: canonical axes, non-axis string tuples."""
+
+
+def register(KernelSpec):
+    return KernelSpec(name="vec",
+                      axes=("descendant", "ancestor", "following-sibling"))
+
+
+def check(validate_axis, axis):
+    validate_axis(axis, ("child", "preceding-sibling"))
+
+
+def unrelated(KernelSpec):
+    return KernelSpec(name="vec", tags=("sideways", "upward"))

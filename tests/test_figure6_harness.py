@@ -2,6 +2,8 @@
 
 import math
 
+import pytest
+
 from repro.bench import DNF
 from repro.bench.figure6 import (
     Figure6Config,
@@ -35,6 +37,45 @@ class TestRunFigure6:
         result = run_figure6(config)
         rows = result.measurements["q2"]
         assert all(math.isinf(m.seconds) for m in rows)
+
+    def test_budget_unwind_survives_the_lexer(self, monkeypatch):
+        """A timeout firing mid-scan must surface as a DNF, not a bug.
+
+        The harness distinguishes "ran out of budget" (DNF, skip larger
+        scales) from "query errored" (test failure).  The lexer's
+        string scanner rewords entity errors as XQuerySyntaxError; its
+        catch must stay narrow so a BenchmarkTimeout unwinding through
+        that frame keeps its type.  Regression for the broad ``except
+        Exception`` that RL006 now bans in cancellation-visible
+        modules.
+        """
+        import repro.xquery.lexer as lexer_mod
+        from repro.errors import BenchmarkTimeout
+
+        def expired(text, line, col):
+            raise BenchmarkTimeout("budget exhausted mid-scan", 1e-4)
+
+        monkeypatch.setattr(lexer_mod, "unescape", expired)
+        with pytest.raises(BenchmarkTimeout):
+            lexer_mod.Lexer("'literal'").next()
+
+    def test_cancellation_unwind_survives_the_lexer(self, monkeypatch):
+        import repro.xquery.lexer as lexer_mod
+        from repro.exec.cancel import QueryCancelled
+
+        def cancelled(text, line, col):
+            raise QueryCancelled("client went away")
+
+        monkeypatch.setattr(lexer_mod, "unescape", cancelled)
+        with pytest.raises(QueryCancelled):
+            lexer_mod.Lexer("'literal'").next()
+
+    def test_bad_entity_is_still_a_syntax_error(self):
+        from repro.errors import XQuerySyntaxError
+        from repro.xquery import parse
+
+        with pytest.raises(XQuerySyntaxError):
+            parse("'&bogus;'")
 
     def test_size_labels_grow_with_scale(self):
         _db1, label1 = build_database(0.05)
